@@ -1,0 +1,73 @@
+package pimento_test
+
+import (
+	"fmt"
+	"log"
+
+	pimento "repro"
+)
+
+const exampleXML = `<dealer>
+  <car><description>good condition, best bid welcome, NYC</description><price>900</price><color>red</color></car>
+  <car><description>good condition, one owner</description><price>1500</price><color>blue</color></car>
+  <car><description>needs work</description><price>200</price><color>red</color></car>
+</dealer>`
+
+// Example demonstrates the personalized-search flow end to end: query,
+// profile, ranked answers.
+func Example() {
+	eng, err := pimento.OpenString(exampleXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := pimento.MustParseQuery(`//car[./description[. ftcontains "good condition"] and price < 2000]`)
+	prof := pimento.MustParseProfile(`
+kor w4: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+rank K,V,S`)
+	resp, err := eng.Search(q, prof, pimento.WithK(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		price, _ := eng.Document().DeepValue(r.Node, "price")
+		fmt.Printf("%d. price=%s preferred=%v\n", i+1, price, r.K > 0)
+	}
+	// Output:
+	// 1. price=900 preferred=true
+	// 2. price=1500 preferred=false
+}
+
+// ExampleAnalyze shows the Section 5 static analysis: the profile's two
+// value-based ordering rules are mutually ambiguous until prioritized.
+func ExampleAnalyze() {
+	prof := pimento.MustParseProfile(`
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`)
+	q := pimento.MustParseQuery(`//car`)
+	pa := pimento.Analyze(prof, q)
+	fmt.Println("ambiguous:", pa.Ambiguity.Ambiguous)
+
+	prof.VORs[0].Priority = 2
+	prof.VORs[1].Priority = 1
+	fmt.Println("with priorities:", pimento.Analyze(prof, q).Ambiguity.Ambiguous)
+	// Output:
+	// ambiguous: true
+	// with priorities: false
+}
+
+// ExampleWithScorer swaps the base relevance function — the paper's
+// thesis is that no single scoring function fits all users.
+func ExampleWithScorer() {
+	eng, err := pimento.OpenString(exampleXML, pimento.WithScorer(pimento.Boolean()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := eng.Search(pimento.MustParseQuery(`//car[. ftcontains "good condition"]`), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Under boolean scoring every match gets the same S.
+	fmt.Println(len(resp.Results), resp.Results[0].S == resp.Results[1].S)
+	// Output:
+	// 2 true
+}

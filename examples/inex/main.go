@@ -1,0 +1,78 @@
+// INEX effectiveness: the Section 7.1 experiment on one topic.
+//
+// It builds the synthetic IEEE-style collection for topic 131 (abstracts
+// by Jiawei Han about data mining), derives the profile from the topic
+// narrative — the relaxation scoping rule and the keyword OR over "data
+// cube" / "association rule" — and contrasts what the system retrieves
+// with and without the profile against the planted assessment, then
+// prints the full Table 1 reproduction.
+//
+//	go run ./examples/inex
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/engine"
+	"repro/internal/inex"
+	"repro/internal/plan"
+	"repro/internal/text"
+)
+
+func main() {
+	var topic131 inex.Spec
+	for _, s := range inex.Topics() {
+		if s.ID == 131 {
+			topic131 = s
+		}
+	}
+	fmt.Printf("topic %d: %s\n", topic131.ID, topic131.Title)
+	fmt.Printf("query phrase %q, narrative terms %v\n\n",
+		topic131.Phrase, topic131.Narrative)
+
+	doc, assessed := inex.BuildCollection(topic131, 42)
+	fmt.Printf("collection: %d articles, %d assessed-relevant components\n\n",
+		len(doc.ElementsByTag("article")), len(assessed))
+
+	e := engine.New(doc, text.DefaultPipeline)
+	q := inex.TopicQuery(topic131, "abs")
+	prof := inex.TopicProfile(topic131, "abs")
+	fmt.Println("query: ", q)
+	fmt.Println("profile:")
+	for _, sr := range prof.SRs {
+		fmt.Println("  ", sr)
+	}
+	for _, k := range prof.KORs {
+		fmt.Println("  ", k)
+	}
+
+	for _, personalized := range []bool{false, true} {
+		req := engine.Request{Query: q, K: 5, Strategy: plan.Push}
+		label := "without profile"
+		if personalized {
+			req.Profile = prof
+			label = "with profile"
+		}
+		resp, err := e.Search(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntop-5 abstracts %s:\n", label)
+		for i, r := range resp.Results {
+			mark := " "
+			if v, _ := doc.AttrValue(r.Node, "assessed"); v == "yes" {
+				mark = "*"
+			}
+			fmt.Printf("  %d.%s S=%.3f K=%.3f  %s\n", i+1, mark, r.S, r.K, r.Snippet)
+		}
+		fmt.Println("  (* = assessed relevant)")
+	}
+
+	fmt.Println("\n== full Table 1 reproduction ==")
+	rows, err := inex.RunTable1(42, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(inex.FormatTable(rows))
+}

@@ -1,0 +1,63 @@
+// XMark performance: the Section 7.2 setup at example scale.
+//
+// It generates a ~1 MB XMark-style auction document, runs the Fig. 5
+// query (persons with business = Yes) under the Fig. 5 ordering rules
+// (π1–π4 keyword ORs, π5 the age-33 value OR), and compares the four
+// plan strategies of Fig. 7, printing per-operator statistics for the
+// winning Push plan.
+//
+//	go run ./examples/xmark
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pimento "repro"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+)
+
+func main() {
+	doc := xmark.GenerateSized(xmark.Config{Seed: 42}, 1024*1024)
+	fmt.Printf("document: %s, %d nodes, %d persons\n",
+		doc, doc.Len(), len(doc.ElementsByTag("person")))
+
+	eng := pimento.OpenDocument(doc, pimento.WithStemming(false))
+	q := workload.Fig5Query()
+	prof := workload.Fig5Profile(4)
+	fmt.Println("query:", q)
+	fmt.Println("ordering rules: π1..π4 (male / United States / College / Phoenix), π5 (age 33)")
+
+	strategies := []struct {
+		name string
+		s    pimento.Strategy
+	}{
+		{"NtpkP (naive)", pimento.Naive},
+		{"NS-ILtpkP", pimento.InterleaveNoSort},
+		{"S-ILtpkP", pimento.InterleaveSort},
+		{"PtpkP (push)", pimento.Push},
+	}
+	var pushResp *pimento.Response
+	for _, st := range strategies {
+		resp, err := eng.Search(q, prof, pimento.WithK(10), pimento.WithStrategy(st.s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-14s %8v   pruned=%d\n", st.name, resp.Elapsed, resp.TotalPruned)
+		if st.s == pimento.Push {
+			pushResp = resp
+		}
+	}
+
+	fmt.Println("\ntop answers (Push plan):")
+	for i, r := range pushResp.Results[:5] {
+		age, _ := eng.Document().DeepValue(r.Node, "age")
+		fmt.Printf("  %d. K=%.3f S=%.3f age=%-3s %s\n", i+1, r.K, r.S, age, r.Snippet)
+	}
+
+	fmt.Println("\nPush plan operators:")
+	for _, s := range pushResp.Stats {
+		fmt.Printf("  %-55s in=%-6d out=%-6d pruned=%d\n", s.Name, s.In, s.Out, s.Pruned)
+	}
+}

@@ -1,0 +1,437 @@
+// Package algebra implements the paper's query algebra (Section 6.2,
+// Fig. 3): pipelined operators over answer streams — scans, structural
+// and full-text semijoins, the vor and kor operators, parametric sort,
+// and the three OR-aware topkPrune algorithms of Section 6.3.
+//
+// Plans pipeline bindings of the distinguished pattern node ("we wanted
+// to choose plans which ... allow the distinguished node bindings to be
+// pipelined throughout"). Every other predicate of the extended TPQ is
+// enforced as an independent semijoin against the candidate, exactly as
+// the paper's Fig. 4 plans do (one join per keyword / structural
+// predicate); joins with keywords contribute score, structural semijoins
+// do not.
+package algebra
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/profile"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// UnitKind discriminates semijoin units.
+type UnitKind uint8
+
+const (
+	// UnitExist requires a binding of the pattern node to exist.
+	UnitExist UnitKind = iota
+	// UnitConstraint requires a binding satisfying a value constraint.
+	UnitConstraint
+	// UnitFT requires a binding whose subtree contains a phrase; it is a
+	// score contributor.
+	UnitFT
+)
+
+// Unit is one semijoin obligation of a query, anchored at a pattern node
+// and evaluated per distinguished-node candidate.
+type Unit struct {
+	Kind UnitKind
+	Node int // pattern node index
+	C    tpq.Constraint
+	F    tpq.FTPred
+	// Optional units never filter; they add Weight-scaled score when
+	// satisfied (the outer-join encoding of scoping rules).
+	Optional bool
+	Weight   float64
+}
+
+// Matcher decomposes a query into units and evaluates them per candidate.
+// A Matcher is NOT safe for concurrent use: it reuses internal scratch
+// buffers across calls (each plan builds its own Matcher).
+type Matcher struct {
+	ix    *index.Index
+	doc   *xmldoc.Document
+	q     *tpq.Query
+	paths [][]step // per pattern node: steps from the distinguished node
+	units []Unit
+
+	bufA, bufB []xmldoc.NodeID // navigation scratch, swapped per step
+}
+
+// step is one navigation step of a pattern path. tag is the target
+// pattern node's tag; both directions filter on it.
+type step struct {
+	down bool
+	axis tpq.Axis
+	tag  string
+}
+
+// NewMatcher prepares unit evaluation for q against the index.
+func NewMatcher(ix *index.Index, q *tpq.Query) *Matcher {
+	m := &Matcher{ix: ix, doc: ix.Document(), q: q}
+	m.paths = make([][]step, len(q.Nodes))
+	for i := range q.Nodes {
+		m.paths[i] = m.pathFromDist(i)
+	}
+	m.buildUnits()
+	return m
+}
+
+// pathFromDist computes the navigation steps from the distinguished node
+// to pattern node pn: up to the lowest common ancestor, then down.
+func (m *Matcher) pathFromDist(pn int) []step {
+	distAnc := m.q.Ancestors(m.q.Dist) // root..dist
+	pnAnc := m.q.Ancestors(pn)         // root..pn
+	onDist := make(map[int]int, len(distAnc))
+	for i, n := range distAnc {
+		onDist[n] = i
+	}
+	lcaIdx := 0
+	var lcaPn int
+	for i, n := range pnAnc {
+		if j, ok := onDist[n]; ok {
+			lcaIdx, lcaPn = j, i
+		} else {
+			break
+		}
+	}
+	var steps []step
+	// Up from dist to the LCA: each hop crosses the edge above distAnc[i]
+	// and must land on an element tagged like the target pattern node.
+	for i := len(distAnc) - 1; i > lcaIdx; i-- {
+		steps = append(steps, step{
+			down: false,
+			axis: m.q.Nodes[distAnc[i]].Axis,
+			tag:  m.q.Nodes[distAnc[i-1]].Tag,
+		})
+	}
+	// Down from the LCA to pn.
+	for i := lcaPn + 1; i < len(pnAnc); i++ {
+		n := pnAnc[i]
+		steps = append(steps, step{down: true, axis: m.q.Nodes[n].Axis, tag: m.q.Nodes[n].Tag})
+	}
+	return steps
+}
+
+func (m *Matcher) buildUnits() {
+	for pn, n := range m.q.Nodes {
+		effOpt := m.effectivelyOptional(pn)
+		if pn != m.q.Dist {
+			m.units = append(m.units, Unit{
+				Kind: UnitExist, Node: pn,
+				Optional: effOpt,
+				Weight:   n.Weight,
+			})
+		}
+		for _, c := range n.Constraints {
+			m.units = append(m.units, Unit{
+				Kind: UnitConstraint, Node: pn, C: c,
+				Optional: c.Optional || effOpt,
+				Weight:   c.Weight,
+			})
+		}
+		for _, f := range n.FT {
+			w := f.Weight
+			if !f.Optional && !effOpt {
+				w = 1 // required keyword joins contribute with unit weight
+			}
+			m.units = append(m.units, Unit{
+				Kind: UnitFT, Node: pn, F: f,
+				Optional: f.Optional || effOpt,
+				Weight:   w,
+			})
+		}
+	}
+}
+
+// effectivelyOptional reports whether pn sits on an optional branch
+// (itself or any pattern ancestor marked optional).
+func (m *Matcher) effectivelyOptional(pn int) bool {
+	for n := pn; n != -1; n = m.q.Nodes[n].Parent {
+		if m.q.Nodes[n].Optional {
+			return true
+		}
+	}
+	return false
+}
+
+// Units returns the query's semijoin units. Callers must not modify the
+// returned slice.
+func (m *Matcher) Units() []Unit { return m.units }
+
+// RequiredUnits returns the indices of filtering units (skeleton +
+// required constraints); FT units are excluded — plans enforce those with
+// dedicated score-contributing operators.
+func (m *Matcher) RequiredUnits() []int {
+	var out []int
+	for i, u := range m.units {
+		if !u.Optional && u.Kind != UnitFT {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FTUnits returns the indices of full-text units, required first
+// (the score-contributing joins of Fig. 4).
+func (m *Matcher) FTUnits() []int {
+	var req, opt []int
+	for i, u := range m.units {
+		if u.Kind != UnitFT {
+			continue
+		}
+		if u.Optional {
+			opt = append(opt, i)
+		} else {
+			req = append(req, i)
+		}
+	}
+	return append(req, opt...)
+}
+
+// RequiredConstraintUnits returns the required constraint units only —
+// what remains to filter when a structural access path (the twig
+// semijoin) has already guaranteed the skeleton.
+func (m *Matcher) RequiredConstraintUnits() []int {
+	var out []int
+	for i, u := range m.units {
+		if !u.Optional && u.Kind == UnitConstraint {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OptionalBonusUnits returns optional non-FT units (existence and
+// constraint bonuses from encoded scoping rules).
+func (m *Matcher) OptionalBonusUnits() []int {
+	var out []int
+	for i, u := range m.units {
+		if u.Optional && u.Kind != UnitFT && u.Weight > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Bindings returns the elements pattern node pn can bind to for candidate
+// e, following only the tag/axis skeleton along the dist→pn path. The
+// returned slice aliases the matcher's scratch buffers and is only valid
+// until the next Bindings/EvalUnit/MatchRequired call.
+func (m *Matcher) Bindings(pn int, e xmldoc.NodeID) []xmldoc.NodeID {
+	cur := append(m.bufA[:0], e)
+	next := m.bufB[:0]
+	for _, s := range m.paths[pn] {
+		if len(cur) == 0 {
+			return nil
+		}
+		if s.down {
+			next = m.down(next, cur, s.tag, s.axis)
+		} else {
+			next = m.up(next, cur, s.tag, s.axis)
+		}
+		cur, next = next, cur[:0]
+	}
+	// Remember the (possibly grown) buffers for reuse.
+	m.bufA, m.bufB = cur[:len(cur)], next[:0]
+	return cur
+}
+
+// appendUnique adds n to out unless present. Binding sets per candidate
+// are tiny (usually one to a handful of elements), so linear dedup beats
+// allocating a map on this hot path.
+func appendUnique(out []xmldoc.NodeID, n xmldoc.NodeID) []xmldoc.NodeID {
+	for _, x := range out {
+		if x == n {
+			return out
+		}
+	}
+	return append(out, n)
+}
+
+func (m *Matcher) up(out, set []xmldoc.NodeID, tag string, axis tpq.Axis) []xmldoc.NodeID {
+	add := func(n xmldoc.NodeID) {
+		if n != xmldoc.InvalidNode && (tag == "*" || m.doc.Tag(n) == tag) {
+			out = appendUnique(out, n)
+		}
+	}
+	for _, e := range set {
+		if axis == tpq.Child {
+			add(m.doc.Parent(e))
+		} else {
+			for p := m.doc.Parent(e); p != xmldoc.InvalidNode; p = m.doc.Parent(p) {
+				add(p)
+			}
+		}
+	}
+	return out
+}
+
+func (m *Matcher) down(out, set []xmldoc.NodeID, tag string, axis tpq.Axis) []xmldoc.NodeID {
+	if axis == tpq.Child {
+		for _, e := range set {
+			for c := m.doc.Node(e).First; c != xmldoc.InvalidNode; c = m.doc.Node(c).Next {
+				if m.doc.Kind(c) == xmldoc.Element && (tag == "*" || m.doc.Tag(c) == tag) {
+					out = appendUnique(out, c)
+				}
+			}
+		}
+		return out
+	}
+	// Descendant axis: use the tag index and region ranges.
+	tagged := m.ix.Elements(tag)
+	for _, e := range set {
+		n := m.doc.Node(e)
+		lo := sort.Search(len(tagged), func(i int) bool { return tagged[i] > e })
+		for i := lo; i < len(tagged); i++ {
+			d := tagged[i]
+			if m.doc.Node(d).Start > n.End {
+				break
+			}
+			out = appendUnique(out, d)
+		}
+	}
+	return out
+}
+
+// matchesUpward verifies the skeleton above the distinguished node,
+// including the root axis: the pattern root must reach the document root
+// when its axis is Child.
+func (m *Matcher) matchesUpward(e xmldoc.NodeID) bool {
+	root := 0
+	bindings := m.Bindings(root, e)
+	if m.q.Dist == root {
+		bindings = []xmldoc.NodeID{e}
+	}
+	if len(bindings) == 0 {
+		return false
+	}
+	if m.q.Nodes[root].Axis == tpq.Child {
+		docRoot := m.doc.Root()
+		for _, b := range bindings {
+			if b == docRoot {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// EvalUnit evaluates one unit for candidate e: sat reports whether the
+// unit holds, score is its contribution (nonzero only for FT units and
+// satisfied optional units).
+func (m *Matcher) EvalUnit(idx int, e xmldoc.NodeID) (sat bool, score float64) {
+	u := &m.units[idx]
+	switch u.Kind {
+	case UnitExist:
+		bs := m.Bindings(u.Node, e)
+		if len(bs) == 0 {
+			return false, 0
+		}
+		if u.Optional {
+			return true, u.Weight
+		}
+		return true, 0
+	case UnitConstraint:
+		for _, b := range m.bindingsOrSelf(u.Node, e) {
+			if m.constraintHolds(u.C, b) {
+				if u.Optional {
+					return true, u.Weight
+				}
+				return true, 0
+			}
+		}
+		return false, 0
+	case UnitFT:
+		best := 0.0
+		found := false
+		for _, b := range m.bindingsOrSelf(u.Node, e) {
+			if s := m.ix.Score(b, u.F.Phrase); s > 0 {
+				found = true
+				if s > best {
+					best = s
+				}
+			}
+		}
+		if !found {
+			return false, 0
+		}
+		return true, u.Weight * best
+	}
+	return false, 0
+}
+
+func (m *Matcher) bindingsOrSelf(pn int, e xmldoc.NodeID) []xmldoc.NodeID {
+	if pn == m.q.Dist {
+		return []xmldoc.NodeID{e}
+	}
+	return m.Bindings(pn, e)
+}
+
+func (m *Matcher) constraintHolds(c tpq.Constraint, b xmldoc.NodeID) bool {
+	var raw string
+	var ok bool
+	if c.Attr == "" {
+		raw = m.doc.TextContent(b)
+		ok = true
+	} else {
+		raw, ok = m.doc.AttrValue(b, c.Attr)
+	}
+	if !ok {
+		return false
+	}
+	cmp, ok := c.Val.Compare(raw)
+	if !ok {
+		return false
+	}
+	return c.Op.Eval(cmp)
+}
+
+// MatchRequired reports whether candidate e passes the upward skeleton
+// and every required non-FT unit.
+func (m *Matcher) MatchRequired(e xmldoc.NodeID) bool {
+	if dt := m.q.Nodes[m.q.Dist].Tag; dt != "*" && m.doc.Tag(e) != dt {
+		return false
+	}
+	if !m.matchesUpward(e) {
+		return false
+	}
+	for _, i := range m.RequiredUnits() {
+		if sat, _ := m.EvalUnit(i, e); !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxUnitScore returns the maximum score unit idx can contribute, the
+// building block of query-scorebound (Algorithm 1). For FT units the
+// bound is the index's per-(tag, phrase) maximum — the tightest sound
+// conservative estimate.
+func (m *Matcher) MaxUnitScore(idx int) float64 {
+	u := &m.units[idx]
+	switch u.Kind {
+	case UnitFT:
+		tag := m.q.Nodes[u.Node].Tag
+		return u.Weight * m.ix.MaxPhraseScore(tag, u.F.Phrase)
+	default:
+		if u.Optional {
+			return u.Weight
+		}
+	}
+	return 0
+}
+
+// MaxKORContribution returns the largest K increment a keyword-based OR
+// can add to any answer under this index — Algorithm 3's kor-scorebound
+// summand, tightened with the index's per-(tag, phrase) maxima.
+func MaxKORContribution(ix *index.Index, kor *profile.KOR) float64 {
+	total := 0.0
+	for _, p := range kor.Phrases {
+		total += kor.EffectiveWeight() * ix.MaxPhraseScore(kor.Tag, p)
+	}
+	return total
+}

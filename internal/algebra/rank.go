@@ -1,0 +1,115 @@
+package algebra
+
+import "repro/internal/profile"
+
+// Mode selects which ranking components a comparison (or a topkPrune)
+// considers — the parametric orders of Section 3.3 / 6.1.
+type Mode uint8
+
+const (
+	// ModeS ranks by query score only (no ORs in the profile).
+	ModeS Mode = iota
+	// ModeVS ranks by VOR preference, then query score.
+	ModeVS
+	// ModeKVS is the paper's default K, V, S.
+	ModeKVS
+	// ModeVKS is the alternative V, K, S.
+	ModeVKS
+	// ModeBlend ranks by the combined score K + S with V as tie-break —
+	// the weighted fine-tuning of the paper's conclusion (Section 8).
+	ModeBlend
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeS:
+		return "S"
+	case ModeVS:
+		return "V,S"
+	case ModeKVS:
+		return "K,V,S"
+	case ModeVKS:
+		return "V,K,S"
+	case ModeBlend:
+		return "K+S,V"
+	}
+	return "?"
+}
+
+// ModeForProfile returns the final rank mode a profile calls for.
+func ModeForProfile(p *profile.Profile) Mode {
+	if p == nil || (len(p.KORs) == 0 && len(p.VORs) == 0) {
+		return ModeS
+	}
+	if p.Rank == profile.Blend {
+		return ModeBlend
+	}
+	if len(p.KORs) == 0 {
+		return ModeVS
+	}
+	if p.Rank == profile.VKS {
+		return ModeVKS
+	}
+	return ModeKVS
+}
+
+// Ranker compares answers under a profile's ordering rules.
+type Ranker struct {
+	Prof *profile.Profile
+}
+
+// Compare returns +1 when a ranks strictly before b under the mode, -1
+// for the converse, 0 for ties (or V-incomparability, which falls through
+// to the next component exactly as Algorithms 2/3 do).
+func (r *Ranker) Compare(a, b *Answer, mode Mode) int {
+	switch mode {
+	case ModeS:
+		return cmpFloat(a.S, b.S)
+	case ModeVS:
+		if c := r.CompareV(a, b); c != 0 {
+			return c
+		}
+		return cmpFloat(a.S, b.S)
+	case ModeKVS:
+		if c := cmpFloat(a.K, b.K); c != 0 {
+			return c
+		}
+		if c := r.CompareV(a, b); c != 0 {
+			return c
+		}
+		return cmpFloat(a.S, b.S)
+	case ModeVKS:
+		if c := r.CompareV(a, b); c != 0 {
+			return c
+		}
+		if c := cmpFloat(a.K, b.K); c != 0 {
+			return c
+		}
+		return cmpFloat(a.S, b.S)
+	case ModeBlend:
+		if c := cmpFloat(a.K+a.S, b.K+b.S); c != 0 {
+			return c
+		}
+		return r.CompareV(a, b)
+	}
+	return 0
+}
+
+// CompareV applies the profile's VORs in priority order (the ≺_V used by
+// Algorithm 2); 0 means tie or incomparable.
+func (r *Ranker) CompareV(a, b *Answer) int {
+	if r.Prof == nil || len(r.Prof.VORs) == 0 || a.VKeys == nil || b.VKeys == nil {
+		return 0
+	}
+	return r.Prof.CompareVORs(a.VKeys, b.VKeys)
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a > b:
+		return 1
+	case a < b:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+package algebra
+
+import "fmt"
+
+// TopKPruneOp is the paper's OR-aware topkPrune operator (Section 6.3).
+// It maintains a list of the current top k answers and prunes incoming
+// answers that provably cannot reach the final top k, accounting for:
+//
+//   - SBound (query-scorebound): the maximum S an answer can still gain
+//     from score-contributing operators later in the plan (Algorithm 1);
+//   - the VOR partial order ≺_V (Algorithm 2);
+//   - KorBound (kor-scorebound): the sum of the maximal scores of the
+//     keyword-based ORs remaining in the plan (Algorithm 3).
+//
+// Non-pruned answers are kept in the flow (forwarded downstream); the
+// operator's list is exposed for plans whose final operator it is.
+//
+// Two documented clarifications of the paper's pseudo-code (DESIGN.md §6):
+// Algorithm 3 elides the branch for a.K != kth.K when kor-scorebound is
+// 0 — we prune when a.K is strictly lower (K is final) and insert when
+// strictly higher; and when kor-scorebound > 0 its line 9 would insert
+// regardless of K — we insert only answers whose current K beats the kth,
+// keeping the list a valid (conservative) threshold while K can still
+// grow.
+type TopKPruneOp struct {
+	In     Operator
+	K      int
+	Mode   Mode // which components this prune reasons about
+	Ranker *Ranker
+	// SBound is Algorithm 1's query-scorebound at this plan position.
+	SBound float64
+	// KorBound is Algorithm 3's kor-scorebound at this plan position.
+	KorBound float64
+	// SortedInput enables bulk pruning (Section 6.4): on input sorted by
+	// the current rank order, the first pruned answer ends the stream.
+	SortedInput bool
+
+	list  []Answer
+	done  bool
+	stats OpStats
+}
+
+func (o *TopKPruneOp) Open() {
+	o.In.Open()
+	o.list = o.list[:0]
+	o.done = false
+	name := fmt.Sprintf("topkPrune(k=%d,%s", o.K, o.Mode)
+	if o.SBound > 0 {
+		name += fmt.Sprintf(",sbound=%.2g", o.SBound)
+	}
+	if o.KorBound > 0 {
+		name += fmt.Sprintf(",korbound=%.2g", o.KorBound)
+	}
+	if o.SortedInput {
+		name += ",sorted"
+	}
+	o.stats = OpStats{Name: name + ")"}
+}
+
+func (o *TopKPruneOp) Next() (Answer, bool) {
+	for {
+		if o.done {
+			return Answer{}, false
+		}
+		a, ok := o.In.Next()
+		if !ok {
+			return Answer{}, false
+		}
+		o.stats.In++
+		if o.consider(a) {
+			o.stats.Out++
+			return a, true
+		}
+		o.stats.Pruned++
+		if o.SortedInput {
+			// Bulk pruning: everything after a pruned answer in a sorted
+			// stream is at most as good.
+			o.done = true
+			return Answer{}, false
+		}
+	}
+}
+
+func (o *TopKPruneOp) Stats() OpStats { return o.stats }
+
+// TopK returns the operator's current top-k list, ordered best-first by
+// the operator's mode. Valid after the stream is drained.
+func (o *TopKPruneOp) TopK() []Answer {
+	out := make([]Answer, len(o.list))
+	copy(out, o.list)
+	return out
+}
+
+// consider decides an incoming answer's fate: false prunes it, true
+// keeps it in the flow (inserting it into the top-k list when warranted).
+func (o *TopKPruneOp) consider(a Answer) bool {
+	if len(o.list) < o.K {
+		o.insert(a)
+		return true
+	}
+	kth := &o.list[len(o.list)-1]
+	switch o.Mode {
+	case ModeS:
+		return o.alg1(a, kth)
+	case ModeVS:
+		return o.alg2(a, kth)
+	case ModeKVS:
+		return o.alg3(a, kth)
+	case ModeVKS:
+		return o.algVKS(a, kth)
+	case ModeBlend:
+		return o.algBlend(a, kth)
+	}
+	return true
+}
+
+// algBlend prunes under the combined K + S rank (the Section 8 weighted
+// fine-tuning): an answer is dead once even its maximal future gains
+// cannot reach the kth combined score.
+func (o *TopKPruneOp) algBlend(a Answer, kth *Answer) bool {
+	bound := o.SBound + o.KorBound
+	cur := a.K + a.S
+	kthScore := kth.K + kth.S
+	if cur+bound < kthScore {
+		return false
+	}
+	switch {
+	case cur > kthScore:
+		o.insert(a)
+	case cur == kthScore && bound == 0:
+		// Scores are final and tied: the V preference decides, as in
+		// the final rank order.
+		switch o.Ranker.CompareV(&a, kth) {
+		case 1:
+			o.insert(a)
+		case -1:
+			return false
+		}
+	}
+	return true
+}
+
+// alg1 is Algorithm 1: prune on S with the query-scorebound.
+func (o *TopKPruneOp) alg1(a Answer, kth *Answer) bool {
+	if a.S+o.SBound < kth.S {
+		return false // prune: cannot reach the kth's score
+	}
+	if a.S > kth.S {
+		o.insert(a) // kth falls off the list but stays in the flow
+	}
+	return true
+}
+
+// alg2 is Algorithm 2: V then S. V keys are fixed once the vor operator
+// ran, so a ≺_V verdict is final.
+func (o *TopKPruneOp) alg2(a Answer, kth *Answer) bool {
+	switch o.Ranker.CompareV(&a, kth) {
+	case 0: // equal or incomparable w.r.t. ≺_V: fall through to scores
+		return o.alg1(a, kth)
+	case -1: // kth ≺_V a: a is dominated forever
+		return false
+	default: // a ≺_V kth: a enters the list; kth stays in the flow
+		o.insert(a)
+		return true
+	}
+}
+
+// alg3 is Algorithm 3: K with the kor-scorebound, then V, then S.
+func (o *TopKPruneOp) alg3(a Answer, kth *Answer) bool {
+	if o.KorBound <= 0 {
+		switch {
+		case a.K == kth.K:
+			return o.alg2(a, kth)
+		case a.K > kth.K:
+			o.insert(a)
+			return true
+		default:
+			return false // K is final and strictly lower
+		}
+	}
+	if a.K+o.KorBound < kth.K {
+		return false // cannot catch up on K
+	}
+	if a.K > kth.K {
+		o.insert(a)
+	}
+	return true
+}
+
+// algVKS handles the alternative V,K,S rank order: the V verdict is
+// final (vor ran already), so V-dominated answers are pruned; V-ties
+// reduce to K/S reasoning with bounds.
+func (o *TopKPruneOp) algVKS(a Answer, kth *Answer) bool {
+	switch o.Ranker.CompareV(&a, kth) {
+	case -1:
+		return false
+	case 1:
+		o.insert(a)
+		return true
+	}
+	if a.K+o.KorBound < kth.K {
+		return false
+	}
+	if a.K > kth.K || (a.K == kth.K && o.KorBound <= 0 && a.S > kth.S) {
+		o.insert(a)
+	}
+	return true
+}
+
+// insert places a into the top-k list at the right position under the
+// operator's mode, evicting the current kth when the list is full.
+func (o *TopKPruneOp) insert(a Answer) {
+	pos := len(o.list)
+	for pos > 0 {
+		c := o.Ranker.Compare(&a, &o.list[pos-1], o.Mode)
+		if c < 0 || (c == 0 && a.Node >= o.list[pos-1].Node) {
+			break
+		}
+		pos--
+	}
+	if len(o.list) < o.K {
+		o.list = append(o.list, Answer{})
+	} else if pos == len(o.list) {
+		return // full and a sorts after the kth: no change
+	}
+	copy(o.list[pos+1:], o.list[pos:len(o.list)-1])
+	o.list[pos] = a
+}

@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/tpq"
+)
+
+const paperQ = `//car[./description[. ftcontains "good condition" and . ftcontains "low mileage"] and price < 2000]`
+
+// fig2SRs returns the paper's scoping rules, optionally prioritized.
+func fig2SRs(t *testing.T, prioritized bool) []*profile.SR {
+	t.Helper()
+	pr := ""
+	if prioritized {
+		pr = `
+sr p1 priority 1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(car, "good condition")
+sr p2 priority 2: if pc(car, description) & ftcontains(description, "good condition") then add ftcontains(description, "american")
+sr p3 priority 3: if pc(car, description) & ftcontains(description, "good condition") then remove ftcontains(description, "low mileage")
+`
+	} else {
+		pr = `
+sr p1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(car, "good condition")
+sr p2: if pc(car, description) & ftcontains(description, "good condition") then add ftcontains(description, "american")
+sr p3: if pc(car, description) & ftcontains(description, "good condition") then remove ftcontains(description, "low mileage")
+`
+	}
+	p, err := profile.ParseProfile(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.SRs
+}
+
+func TestConflictGraphPaperExample(t *testing.T) {
+	// Section 5.1: p1 conflicts with p2; p1 and p3 conflict with each
+	// other (a cycle). Without priorities the analysis must report it.
+	srs := fig2SRs(t, false)
+	q := tpq.MustParse(paperQ)
+	rep, err := AnalyzeSRs(srs, q)
+	if err == nil {
+		t.Fatalf("expected a conflict-cycle error, got order %v", rep.Order)
+	}
+	if !rep.Cyclic {
+		t.Fatal("Cyclic not set")
+	}
+	for i := 0; i < 3; i++ {
+		if !rep.Applicable[i] {
+			t.Errorf("rule %d should be applicable", i)
+		}
+	}
+	has := func(from, to int) bool {
+		for _, j := range rep.Conflicts[from] {
+			if j == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) {
+		t.Errorf("p1 must conflict with p2")
+	}
+	if !has(0, 2) || !has(2, 0) {
+		t.Errorf("p1 and p3 must conflict with each other: %v", rep.Conflicts)
+	}
+}
+
+func TestConflictPrioritiesResolve(t *testing.T) {
+	srs := fig2SRs(t, true)
+	q := tpq.MustParse(paperQ)
+	rep, err := AnalyzeSRs(srs, q)
+	if err != nil {
+		t.Fatalf("priorities must resolve cycles: %v", err)
+	}
+	if len(rep.Order) != 3 || rep.Order[0] != 0 || rep.Order[1] != 1 || rep.Order[2] != 2 {
+		t.Errorf("priority order = %v, want [0 1 2]", rep.Order)
+	}
+}
+
+func TestTopoOrderAppliesTargetsFirst(t *testing.T) {
+	// Only p1 and p2 (no cycle): p1 conflicts with p2, so p2 must be
+	// applied before p1 and both fire.
+	srs := fig2SRs(t, false)[:2]
+	q := tpq.MustParse(paperQ)
+	rep, err := AnalyzeSRs(srs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Order) != 2 || rep.Order[0] != 1 || rep.Order[1] != 0 {
+		t.Fatalf("order = %v, want [1 0] (conflict target first)", rep.Order)
+	}
+	flock, applied, err := Flock(srs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("applied = %v, want both rules", applied)
+	}
+	if len(flock) != 3 {
+		t.Fatalf("flock size = %d, want 3 (Q, p2(Q), p1(p2(Q)))", len(flock))
+	}
+	final := flock[len(flock)-1].String()
+	if !strings.Contains(final, "american") {
+		t.Errorf("p2's addition missing: %s", final)
+	}
+	if strings.Contains(final, "good condition") {
+		t.Errorf("p1's removal missing: %s", final)
+	}
+}
+
+func TestFlockSkipsInapplicable(t *testing.T) {
+	// With priorities p1 < p2: p1 fires first and disables p2.
+	srsSrc := `
+sr p1 priority 1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(car, "good condition")
+sr p2 priority 2: if pc(car, description) & ftcontains(description, "good condition") then add ftcontains(description, "american")
+`
+	p := profile.MustParseProfile(srsSrc)
+	q := tpq.MustParse(paperQ)
+	flock, applied, err := Flock(p.SRs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0] != "p1" {
+		t.Fatalf("applied = %v, want [p1] only", applied)
+	}
+	if len(flock) != 2 {
+		t.Fatalf("flock = %d queries", len(flock))
+	}
+}
+
+func TestEncodeFlock(t *testing.T) {
+	srs := fig2SRs(t, true)
+	q := tpq.MustParse(paperQ)
+	enc, applied, err := EncodeFlock(srs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) == 0 {
+		t.Fatal("nothing encoded")
+	}
+	// Encoded query keeps every phrase but some became optional.
+	opt, req := 0, 0
+	for _, n := range enc.Nodes {
+		for _, f := range n.FT {
+			if f.Optional {
+				opt++
+			} else {
+				req++
+			}
+		}
+	}
+	if opt == 0 {
+		t.Errorf("no optional predicates in encoded query: %s", enc)
+	}
+	// The original query is untouched.
+	if strings.Contains(q.String(), "american") {
+		t.Errorf("input query mutated")
+	}
+	// Encoded query must still be a valid TPQ.
+	if err := enc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmbiguityPaperExample(t *testing.T) {
+	// Section 5.2: {ω1 (red preferred), ω2 (lower mileage preferred)} is
+	// ambiguous — a red high-mileage car vs a non-red low-mileage car.
+	p := profile.MustParseProfile(`
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+`)
+	rep := DetectAmbiguity(p.VORs)
+	if !rep.Ambiguous {
+		t.Fatal("ω1, ω2 must be ambiguous (Section 5.2)")
+	}
+	if len(rep.Cycle) == 0 || rep.Suggestion == "" {
+		t.Errorf("witness missing: %+v", rep)
+	}
+
+	// Priorities break the cycle: "priority 1 to ω2 and 2 to ω1".
+	p.VORs[0].Priority = 2
+	p.VORs[1].Priority = 1
+	if rep := DetectAmbiguityPrioritized(p.VORs); rep.Ambiguous {
+		t.Errorf("distinct priorities must resolve ambiguity: %+v", rep)
+	}
+	// Same priority does not.
+	p.VORs[0].Priority = 1
+	if rep := DetectAmbiguityPrioritized(p.VORs); !rep.Ambiguous {
+		t.Errorf("equal priorities cannot resolve ambiguity")
+	}
+}
+
+func TestUnambiguousSets(t *testing.T) {
+	cases := []string{
+		// Single rule.
+		`vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`,
+		// Different tags cannot interact.
+		`
+vor a: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor b: x.tag = truck & y.tag = truck & x.mileage < y.mileage => x < y
+`,
+		// ω1 and ω3 of Fig. 2: a red car is never the y of w1 (y.color !=
+		// red) while w3's x side is unconstrained... those are actually
+		// compatible; use disjoint local constraints instead:
+		`
+vor a: x.tag = car & y.tag = car & x.fuel = "diesel" & y.fuel = "diesel" & x.hp > y.hp => x < y
+vor b: x.tag = car & y.tag = car & x.fuel = "petrol" & y.fuel = "petrol" & x.mileage < y.mileage => x < y
+`,
+	}
+	for i, src := range cases {
+		p := profile.MustParseProfile(src)
+		if rep := DetectAmbiguity(p.VORs); rep.Ambiguous {
+			t.Errorf("case %d must be unambiguous; cycle %v", i, rep.Cycle)
+		}
+	}
+}
+
+func TestAmbiguityClosureMatters(t *testing.T) {
+	// The paper's closure example: from y.hp = 200 & x.hp < y.hp one
+	// infers x.hp < 200. Rule a prefers low-hp cars among hp=200-capped
+	// pairs; rule b prefers cars with hp > 300. a's x side (hp < 200,
+	// derived) is incompatible with b's y side... build a pair that is
+	// compatible only if the closure is computed, and one that is not.
+	pIncompat := profile.MustParseProfile(`
+vor a: x.tag = car & y.tag = car & y.hp = 200 & x.hp < y.hp => x < y
+vor b: x.tag = car & y.tag = car & x.hp = 500 & y.hp = 500 & x.mileage < y.mileage => x < y
+`)
+	// a's x has derived hp < 200; b's sides have hp = 500. A cycle needs
+	// a.y (hp=200) = b.x (hp=500): inconsistent -> unambiguous.
+	if rep := DetectAmbiguity(pIncompat.VORs); rep.Ambiguous {
+		t.Errorf("closure should prove incompatibility; cycle %v", rep.Cycle)
+	}
+
+	pCompat := profile.MustParseProfile(`
+vor a: x.tag = car & y.tag = car & y.hp = 200 & x.hp < y.hp => x < y
+vor b: x.tag = car & y.tag = car & x.hp = 200 & y.hp < 200 & x.mileage < y.mileage => x < y
+`)
+	// a.y (hp=200) = b.x (hp=200) consistent; b.y (hp<200) = a.x
+	// (hp<200 derived) consistent -> alternating cycle -> ambiguous.
+	if rep := DetectAmbiguity(pCompat.VORs); !rep.Ambiguous {
+		t.Errorf("compatible cycle must be detected")
+	}
+}
+
+func TestAmbiguityPrefRel(t *testing.T) {
+	// Color order vs mileage: ambiguous; color order vs itself reversed
+	// would be a cycle in the order construction (rejected earlier).
+	p := profile.MustParseProfile(`
+order colors: red > blue
+vor a: x.tag = car & y.tag = car & colors(x.color, y.color) => x < y
+vor b: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+`)
+	if rep := DetectAmbiguity(p.VORs); !rep.Ambiguous {
+		t.Errorf("prefRel vs mileage must be ambiguous")
+	}
+
+	// prefRel alone: unambiguous (it is a strict partial order).
+	if rep := DetectAmbiguity(p.VORs[:1]); rep.Ambiguous {
+		t.Errorf("a single prefRel rule must be unambiguous")
+	}
+}
+
+func TestConsistentConstraints(t *testing.T) {
+	num := func(attr string, op tpq.RelOp, v float64) Constraint {
+		return Constraint{Attr: attr, Kind: KindCmp, Op: op, Val: tpq.NumValue(v)}
+	}
+	str := func(attr string, op tpq.RelOp, s string) Constraint {
+		return Constraint{Attr: attr, Kind: KindCmp, Op: op, Val: tpq.StrValue(s)}
+	}
+	cases := []struct {
+		name string
+		cs   []Constraint
+		want bool
+	}{
+		{"empty", nil, true},
+		{"point", []Constraint{num("a", tpq.EQ, 5)}, true},
+		{"interval", []Constraint{num("a", tpq.GT, 1), num("a", tpq.LT, 3)}, true},
+		{"empty interval", []Constraint{num("a", tpq.GT, 3), num("a", tpq.LT, 1)}, false},
+		{"touching strict", []Constraint{num("a", tpq.GT, 2), num("a", tpq.LT, 2)}, false},
+		{"touching closed", []Constraint{num("a", tpq.GE, 2), num("a", tpq.LE, 2)}, true},
+		{"eq vs lt", []Constraint{num("a", tpq.EQ, 5), num("a", tpq.LT, 3)}, false},
+		{"ne escape", []Constraint{num("a", tpq.GE, 2), num("a", tpq.LE, 2), num("a", tpq.NE, 2)}, false},
+		{"two attrs independent", []Constraint{num("a", tpq.EQ, 1), num("b", tpq.EQ, 2)}, true},
+		{"str eq ne", []Constraint{str("c", tpq.EQ, "red"), str("c", tpq.NE, "red")}, false},
+		{"str eq eq diff", []Constraint{str("c", tpq.EQ, "red"), str("c", tpq.EQ, "blue")}, false},
+		{"str ne ne", []Constraint{str("c", tpq.NE, "red"), str("c", tpq.NE, "blue")}, true},
+		{"cross domain eq", []Constraint{str("c", tpq.EQ, "red"), num("c", tpq.EQ, 5)}, false},
+		{"cross domain ne", []Constraint{str("c", tpq.NE, "red"), num("c", tpq.EQ, 5)}, true},
+		{"interval midpoint", []Constraint{num("a", tpq.GT, 1), num("a", tpq.LT, 2)}, true},
+	}
+	for _, c := range cases {
+		if got := ConsistentConstraints(c.cs); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConsistentPrefConstraints(t *testing.T) {
+	po := profile.NewPartialOrder("colors")
+	_ = po.Add("red", "blue")
+	_ = po.Add("blue", "green")
+	above := func(ref string) Constraint {
+		return Constraint{Attr: "c", Kind: KindPrefAbove, Order: po, Ref: ref}
+	}
+	below := func(ref string) Constraint {
+		return Constraint{Attr: "c", Kind: KindPrefBelow, Order: po, Ref: ref}
+	}
+	eq := func(s string) Constraint {
+		return Constraint{Attr: "c", Kind: KindCmp, Op: tpq.EQ, Val: tpq.StrValue(s)}
+	}
+	if !ConsistentConstraints([]Constraint{above("blue")}) {
+		t.Errorf("above(blue): red works")
+	}
+	if !ConsistentConstraints([]Constraint{above("green"), below("red")}) {
+		t.Errorf("between green and red: blue works")
+	}
+	if ConsistentConstraints([]Constraint{above("red")}) {
+		t.Errorf("nothing is above red")
+	}
+	if ConsistentConstraints([]Constraint{above("blue"), eq("green")}) {
+		t.Errorf("green is not above blue")
+	}
+	if !ConsistentConstraints([]Constraint{above("blue"), eq("red")}) {
+		t.Errorf("red is above blue")
+	}
+}
+
+func TestLocalClosureDerivations(t *testing.T) {
+	// The paper's example: x.color = red & y.color != red & y.hp = 200 &
+	// x.hp < y.hp gives local*(x) = {color = red, hp < 200}.
+	p := profile.MustParseProfile(
+		`vor w: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" & y.hp = 200 & x.hp < y.hp => x < y`)
+	v := p.VORs[0]
+	cs := LocalClosure(v, true)
+	var hasColor, hasHP bool
+	for _, c := range cs {
+		if c.Kind == KindCmp && c.Attr == "color" && c.Op == tpq.EQ && c.Val.Str == "red" {
+			hasColor = true
+		}
+		if c.Kind == KindCmp && c.Attr == "hp" && c.Op == tpq.LT && c.Val.Num == 200 {
+			hasHP = true
+		}
+	}
+	if !hasColor || !hasHP {
+		t.Errorf("local*(x) = %v; want color=red and hp<200", cs)
+	}
+}
+
+// TestPropertyBruteForceWitnessImpliesDetection: on random small rule
+// sets, whenever a brute-force search over tiny databases finds a
+// preference contradiction between two elements, the static detector
+// must report ambiguity. (The detector may be conservative the other
+// way; Lemma 5.1's "only if" direction is what personalization soundness
+// relies on.)
+func TestPropertyBruteForceWitnessImpliesDetection(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	attrs := []string{"a", "b"}
+	colors := []string{"red", "blue"}
+	for iter := 0; iter < 400; iter++ {
+		vors := randomVORs(r, attrs, colors)
+		if len(vors) == 0 {
+			continue
+		}
+		witness := bruteForceWitness(vors, attrs, colors)
+		if witness {
+			rep := DetectAmbiguity(vors)
+			if !rep.Ambiguous {
+				var descr []string
+				for _, v := range vors {
+					descr = append(descr, v.String())
+				}
+				t.Fatalf("brute force found a contradiction but detector says unambiguous:\n%s",
+					strings.Join(descr, "\n"))
+			}
+		}
+	}
+}
+
+func randomVORs(r *rand.Rand, attrs, colors []string) []*profile.VOR {
+	n := 1 + r.Intn(3)
+	out := make([]*profile.VOR, 0, n)
+	for i := 0; i < n; i++ {
+		v := &profile.VOR{Name: string(rune('a' + i)), Tag: "car"}
+		switch r.Intn(2) {
+		case 0:
+			v.Form = profile.FormEqConst
+			v.Attr = "c"
+			v.Const = tpq.StrValue(colors[r.Intn(len(colors))])
+		case 1:
+			v.Form = profile.FormAttrCmp
+			v.Attr = attrs[r.Intn(len(attrs))]
+			v.Op = tpq.LT
+			if r.Intn(2) == 0 {
+				v.Op = tpq.GT
+			}
+		}
+		// Occasional extra local constraints.
+		if r.Intn(3) == 0 {
+			v.LocalX = append(v.LocalX, profile.AttrConstraint{
+				Attr: attrs[r.Intn(len(attrs))], Op: tpq.LT, Val: tpq.NumValue(float64(1 + r.Intn(3)))})
+		}
+		if r.Intn(3) == 0 {
+			v.LocalY = append(v.LocalY, profile.AttrConstraint{
+				Attr: attrs[r.Intn(len(attrs))], Op: tpq.GT, Val: tpq.NumValue(float64(r.Intn(3)))})
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// bruteForceWitness searches tiny two-element databases for a pair where
+// one rule prefers e to f and another prefers f to e.
+func bruteForceWitness(vors []*profile.VOR, attrs, colors []string) bool {
+	// Enumerate attribute assignments over a tiny grid.
+	type elem map[string]string
+	var elems []elem
+	numVals := []string{"0", "1", "2", "3"}
+	for _, a := range numVals {
+		for _, b := range numVals {
+			for _, c := range colors {
+				elems = append(elems, elem{"a": a, "b": b, "c": c})
+			}
+		}
+	}
+	lk := func(e elem) func(string) (string, bool) {
+		return func(attr string) (string, bool) { v, ok := e[attr]; return v, ok }
+	}
+	keysFor := func(e elem) []profile.Key {
+		ks := make([]profile.Key, len(vors))
+		for i, v := range vors {
+			ks[i] = v.KeyFor("car", lk(e))
+		}
+		return ks
+	}
+	for i := 0; i < len(elems); i++ {
+		ki := keysFor(elems[i])
+		for j := i + 1; j < len(elems); j++ {
+			kj := keysFor(elems[j])
+			fwd, back := false, false
+			for vi, v := range vors {
+				switch v.Compare(&ki[vi], &kj[vi]) {
+				case 1:
+					fwd = true
+				case -1:
+					back = true
+				}
+			}
+			if fwd && back {
+				return true
+			}
+		}
+	}
+	return false
+}

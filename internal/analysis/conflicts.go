@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/tpq"
+)
+
+// ConflictReport captures the Section 5.1 analysis of a scoping-rule set
+// against one query.
+type ConflictReport struct {
+	// Applicable[i] reports whether rule i's condition is subsumed by Q.
+	Applicable []bool
+	// Conflicts is the conflict digraph over applicable rules: an arc
+	// (i, j) means rule i conflicts with rule j w.r.t. Q — both are
+	// applicable, but j is not applicable to i(Q).
+	Conflicts [][]int
+	// Cyclic reports whether the conflict graph has a cycle among rules
+	// that lack user priorities.
+	Cyclic bool
+	// Cycle is a witness rule-name sequence when Cyclic.
+	Cycle []string
+	// Order is the chosen application order (indices into the rule
+	// slice): user priorities when assigned, otherwise a topological
+	// order of the conflict graph that fires conflict *targets* before
+	// their attackers, so every applicable rule gets to apply.
+	Order []int
+}
+
+// AnalyzeSRs builds the conflict report for rules w.r.t. q.
+//
+// Ordering semantics: the paper proves different orders can yield
+// different results and proposes topologically sorting the conflict
+// graph, with user priorities forcing the order when cycles exist. We
+// topologically sort so that when i conflicts with j (i would disable j),
+// j is applied first — the order that maximizes rule applicability and
+// keeps semantics deterministic. Rules with explicit priorities override
+// the topological order entirely (lower priority number fires first).
+func AnalyzeSRs(rules []*profile.SR, q *tpq.Query) (*ConflictReport, error) {
+	n := len(rules)
+	rep := &ConflictReport{
+		Applicable: make([]bool, n),
+		Conflicts:  make([][]int, n),
+	}
+	rewritten := make([]*tpq.Query, n)
+	for i, sr := range rules {
+		if _, err := sr.CondQuery(); err != nil {
+			return nil, err
+		}
+		rep.Applicable[i] = sr.Applicable(q)
+		if rep.Applicable[i] {
+			if out, ok := sr.Apply(q); ok {
+				rewritten[i] = out
+			}
+		}
+	}
+	for i := range rules {
+		if !rep.Applicable[i] || rewritten[i] == nil {
+			continue
+		}
+		for j := range rules {
+			if i == j || !rep.Applicable[j] {
+				continue
+			}
+			if !rules[j].Applicable(rewritten[i]) {
+				rep.Conflicts[i] = append(rep.Conflicts[i], j)
+			}
+		}
+	}
+
+	prioritized := true
+	for i := range rules {
+		if rep.Applicable[i] && rules[i].Priority == 0 {
+			prioritized = false
+			break
+		}
+	}
+	if prioritized {
+		// User-assigned order. (Also resolves any conflict cycles.)
+		var idx []int
+		for i := range rules {
+			if rep.Applicable[i] {
+				idx = append(idx, i)
+			}
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return rules[idx[a]].Priority < rules[idx[b]].Priority
+		})
+		rep.Order = idx
+		return rep, nil
+	}
+
+	order, cycle := topoOrder(rep, rules)
+	if cycle != nil {
+		rep.Cyclic = true
+		for _, i := range cycle {
+			rep.Cycle = append(rep.Cycle, rules[i].Name)
+		}
+		return rep, fmt.Errorf(
+			"analysis: conflict cycle among scoping rules %v; assign priorities to fix the application order (Section 5.1)",
+			rep.Cycle)
+	}
+	rep.Order = order
+	return rep, nil
+}
+
+// topoOrder returns the application order: reverse-topological over the
+// conflict arcs (targets before attackers). If the graph is cyclic it
+// returns a witness cycle instead.
+func topoOrder(rep *ConflictReport, rules []*profile.SR) (order []int, cycle []int) {
+	n := len(rules)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var post []int
+	cycleStart, cycleEnd := -1, -1
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, w := range rep.Conflicts[u] {
+			if color[w] == gray {
+				cycleStart, cycleEnd = w, u
+				return true
+			}
+			if color[w] == white {
+				parent[w] = u
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		post = append(post, u)
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if rep.Applicable[i] && color[i] == white {
+			if dfs(i) {
+				var c []int
+				for u := cycleEnd; u != cycleStart; u = parent[u] {
+					c = append(c, u)
+				}
+				c = append(c, cycleStart)
+				for l, r := 0, len(c)-1; l < r; l, r = l+1, r-1 {
+					c[l], c[r] = c[r], c[l]
+				}
+				return nil, c
+			}
+		}
+	}
+	// post is already "targets first": dfs finishes conflict targets
+	// before their attackers, and appending at finish time yields
+	// children (targets) before parents (attackers).
+	return post, nil
+}
+
+// Flock builds the query flock of Section 5.1 for q under rules: the
+// family Q, p1(Q), p2(p1(Q)), ..., applying rules in the order fixed by
+// AnalyzeSRs. Rules that are (or become) inapplicable at their turn are
+// skipped. It returns the flock (starting with q itself) and the names
+// of the rules actually applied.
+func Flock(rules []*profile.SR, q *tpq.Query) (flock []*tpq.Query, applied []string, err error) {
+	rep, err := AnalyzeSRs(rules, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	flock = []*tpq.Query{q}
+	cur := q
+	for _, i := range rep.Order {
+		out, ok := rules[i].Apply(cur)
+		if !ok {
+			continue
+		}
+		flock = append(flock, out)
+		applied = append(applied, rules[i].Name)
+		cur = out
+	}
+	return flock, applied, nil
+}
+
+// EncodeFlock enforces the rules on q via the single-plan encoding of
+// Section 6.2 ("SRs can be enforced by encoding the query flock into a
+// single query plan, without requiring actual rewriting"): each rule is
+// applied in the same order as Flock but with EncodeOptional, so the
+// result is one query whose optional, score-contributing predicates
+// capture the whole flock. Returns the encoded query and the applied
+// rule names.
+func EncodeFlock(rules []*profile.SR, q *tpq.Query) (*tpq.Query, []string, error) {
+	rep, err := AnalyzeSRs(rules, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur := q
+	var applied []string
+	for _, i := range rep.Order {
+		out, ok := rules[i].EncodeOptional(cur)
+		if !ok {
+			continue
+		}
+		applied = append(applied, rules[i].Name)
+		cur = out
+	}
+	return cur, applied, nil
+}

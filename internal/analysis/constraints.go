@@ -1,0 +1,249 @@
+// Package analysis implements the static analyses of Section 5: the
+// scoping-rule conflict graph with topological application order and
+// query-flock construction (5.1), and value-based-OR ambiguity detection
+// via alternating cycles in the constraint graph — Lemma 5.1 — with
+// priority-based resolution (5.2).
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/tpq"
+)
+
+// Constraint is a unary constraint on one attribute of one rule variable,
+// in the closure language of Section 5.2: plain comparisons against
+// constants plus the two derived forms a preference relation induces
+// ("there is a value preferred to Ref" / "dominated by Ref").
+type Constraint struct {
+	Attr string
+	Kind ConstraintKind
+
+	// KindCmp:
+	Op  tpq.RelOp
+	Val tpq.Value
+
+	// KindPrefAbove / KindPrefBelow:
+	Order *profile.PartialOrder
+	Ref   string
+}
+
+// ConstraintKind discriminates constraint shapes.
+type ConstraintKind uint8
+
+const (
+	// KindCmp is attr Op Val.
+	KindCmp ConstraintKind = iota
+	// KindPrefAbove requires the value to be strictly preferred to Ref in
+	// Order (derived from prefRel(x.a, y.a) with y.a = Ref).
+	KindPrefAbove
+	// KindPrefBelow requires Ref to be strictly preferred to the value.
+	KindPrefBelow
+)
+
+func (c Constraint) String() string {
+	switch c.Kind {
+	case KindCmp:
+		return fmt.Sprintf(".%s %s %s", c.Attr, c.Op, c.Val)
+	case KindPrefAbove:
+		return fmt.Sprintf(".%s >_%s %q", c.Attr, c.Order.Name(), c.Ref)
+	case KindPrefBelow:
+		return fmt.Sprintf(".%s <_%s %q", c.Attr, c.Order.Name(), c.Ref)
+	}
+	return "?"
+}
+
+// satisfies reports whether the candidate value meets the constraint.
+// Numeric comparisons require a numeric candidate; string equality works
+// on raw strings; cross-domain comparisons fail.
+func (c Constraint) satisfies(v tpq.Value) bool {
+	switch c.Kind {
+	case KindCmp:
+		if c.Val.IsNum != v.IsNum {
+			// A numeric bound can only be met by a numeric value and vice
+			// versa, except NE which is trivially true across domains.
+			return c.Op == tpq.NE
+		}
+		var cmp int
+		if v.IsNum {
+			switch {
+			case v.Num < c.Val.Num:
+				cmp = -1
+			case v.Num > c.Val.Num:
+				cmp = 1
+			}
+		} else {
+			cmp = strings.Compare(v.Str, c.Val.Str)
+		}
+		return c.Op.Eval(cmp)
+	case KindPrefAbove:
+		return !v.IsNum && c.Order.Prefers(v.Str, c.Ref)
+	case KindPrefBelow:
+		return !v.IsNum && c.Order.Prefers(c.Ref, v.Str)
+	}
+	return false
+}
+
+// ConsistentConstraints decides satisfiability of a conjunction of unary
+// constraints (grouped by attribute) by small-model enumeration: every
+// constraint compares against a constant or a finite partial order, so if
+// a satisfying value exists, one exists among the mentioned constants,
+// their midpoints/offsets, the orders' members, and a fresh string.
+func ConsistentConstraints(cs []Constraint) bool {
+	byAttr := map[string][]Constraint{}
+	for _, c := range cs {
+		byAttr[c.Attr] = append(byAttr[c.Attr], c)
+	}
+	for _, group := range byAttr {
+		if !attrSatisfiable(group) {
+			return false
+		}
+	}
+	return true
+}
+
+func attrSatisfiable(cs []Constraint) bool {
+	cands := candidates(cs)
+	for _, v := range cands {
+		ok := true
+		for _, c := range cs {
+			if !c.satisfies(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// candidates enumerates the finite witness set for one attribute.
+func candidates(cs []Constraint) []tpq.Value {
+	var out []tpq.Value
+	var nums []float64
+	strSet := map[string]bool{}
+	for _, c := range cs {
+		switch c.Kind {
+		case KindCmp:
+			if c.Val.IsNum {
+				nums = append(nums, c.Val.Num)
+			} else {
+				strSet[c.Val.Str] = true
+			}
+		case KindPrefAbove, KindPrefBelow:
+			strSet[c.Ref] = true
+			for _, v := range c.Order.Values() {
+				strSet[v] = true
+			}
+		}
+	}
+	for _, n := range nums {
+		out = append(out,
+			tpq.NumValue(n-0.5), tpq.NumValue(n), tpq.NumValue(n+0.5))
+	}
+	// Midpoints between distinct mentioned numbers.
+	for i := range nums {
+		for j := i + 1; j < len(nums); j++ {
+			out = append(out, tpq.NumValue((nums[i]+nums[j])/2))
+		}
+	}
+	if len(nums) == 0 {
+		out = append(out, tpq.NumValue(0)) // free numeric witness
+	}
+	for s := range strSet {
+		out = append(out, tpq.StrValue(s))
+	}
+	out = append(out, tpq.StrValue("\x00fresh")) // NE-escape witness
+	return out
+}
+
+// LocalClosure computes local*(side) for a VOR: the declared and
+// form-induced local constraints of that side, plus constraints derived
+// through the rule's comp atoms from the other side's locals — the
+// closure step of Section 5.2 (e.g. from y.hp = 200 & x.hp < y.hp infer
+// x.hp < 200). preferred selects the x side (true) or the y side.
+func LocalClosure(v *profile.VOR, preferred bool) []Constraint {
+	var out []Constraint
+	for _, ac := range v.LocalAtoms(preferred) {
+		out = append(out, Constraint{Attr: ac.Attr, Kind: KindCmp, Op: ac.Op, Val: ac.Val})
+	}
+	other := v.LocalAtoms(!preferred)
+	otherByAttr := map[string][]profile.AttrConstraint{}
+	for _, ac := range other {
+		otherByAttr[ac.Attr] = append(otherByAttr[ac.Attr], ac)
+	}
+	for _, comp := range v.CompAtoms() {
+		for _, oc := range otherByAttr[comp.Attr] {
+			if d, ok := deriveThroughComp(comp, oc, preferred); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// deriveThroughComp derives a constraint on this side's comp.Attr from a
+// constraint oc on the other side, through the comp atom. forPreferred
+// says which side we are deriving for (x when true).
+func deriveThroughComp(comp profile.CompAtom, oc profile.AttrConstraint, forPreferred bool) (Constraint, bool) {
+	mk := func(op tpq.RelOp) (Constraint, bool) {
+		return Constraint{Attr: comp.Attr, Kind: KindCmp, Op: op, Val: oc.Val}, true
+	}
+	if comp.Order != nil {
+		// prefRel(x.a, y.a): only an equality on the other side pins a
+		// reference value.
+		if oc.Op == tpq.EQ && !oc.Val.IsNum {
+			kind := KindPrefAbove // x's value preferred to y's
+			if !forPreferred {
+				kind = KindPrefBelow
+			}
+			return Constraint{Attr: comp.Attr, Kind: kind, Order: comp.Order, Ref: oc.Val.Str}, true
+		}
+		return Constraint{}, false
+	}
+	switch comp.Op {
+	case tpq.EQ:
+		// x.a = y.a: constraints transfer verbatim.
+		return mk(oc.Op)
+	case tpq.LT, tpq.GT:
+		// Orient the comparison as thisSide relOp otherSide.
+		rel := comp.Op // stated as x.a Op y.a
+		if !forPreferred {
+			if rel == tpq.LT {
+				rel = tpq.GT
+			} else {
+				rel = tpq.LT
+			}
+		}
+		// thisSide rel otherSide and otherSide oc.Op oc.Val.
+		if rel == tpq.LT {
+			// this < other. other = v -> this < v; other < v / <= v -> this < v.
+			switch oc.Op {
+			case tpq.EQ, tpq.LT, tpq.LE:
+				return mk(tpq.LT)
+			}
+		} else {
+			switch oc.Op {
+			case tpq.EQ, tpq.GT, tpq.GE:
+				return mk(tpq.GT)
+			}
+		}
+	}
+	return Constraint{}, false
+}
+
+// Compatible implements Section 5.2's variable compatibility: two
+// variables from different rules can denote the same element iff their
+// rules test the same tag and local*(a) & local*(b) is consistent (the
+// x2 = y1 identification merges the attribute namespaces).
+func Compatible(va *profile.VOR, aPreferred bool, vb *profile.VOR, bPreferred bool) bool {
+	if va.Tag != vb.Tag {
+		return false
+	}
+	cs := append(LocalClosure(va, aPreferred), LocalClosure(vb, bPreferred)...)
+	return ConsistentConstraints(cs)
+}

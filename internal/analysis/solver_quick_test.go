@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tpq"
+)
+
+// TestQuickSolverAgreesWithBruteForce: on random numeric constraint
+// conjunctions over one attribute, the small-model solver must agree
+// with brute-force search over a fine grid (the constraints' constants
+// come from the same grid, so the grid decision is exact).
+func TestQuickSolverAgreesWithBruteForce(t *testing.T) {
+	ops := []tpq.RelOp{tpq.EQ, tpq.NE, tpq.LT, tpq.LE, tpq.GT, tpq.GE}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		cs := make([]Constraint, n)
+		for i := range cs {
+			cs[i] = Constraint{
+				Attr: "a",
+				Kind: KindCmp,
+				Op:   ops[r.Intn(len(ops))],
+				Val:  tpq.NumValue(float64(r.Intn(8))),
+			}
+		}
+		got := ConsistentConstraints(cs)
+
+		// Brute force over a fine grid (half-steps cover strict gaps).
+		brute := false
+		for x := -1.0; x <= 8.5 && !brute; x += 0.5 {
+			ok := true
+			for _, c := range cs {
+				cmp := 0
+				switch {
+				case x < c.Val.Num:
+					cmp = -1
+				case x > c.Val.Num:
+					cmp = 1
+				}
+				if !c.Op.Eval(cmp) {
+					ok = false
+					break
+				}
+			}
+			brute = ok
+		}
+		return got == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSolverMonotone: adding a constraint can only shrink the
+// satisfiable set (consistent conjunction stays consistent when a
+// conjunct is removed).
+func TestQuickSolverMonotone(t *testing.T) {
+	ops := []tpq.RelOp{tpq.EQ, tpq.NE, tpq.LT, tpq.LE, tpq.GT, tpq.GE}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		cs := make([]Constraint, n)
+		for i := range cs {
+			cs[i] = Constraint{
+				Attr: "a", Kind: KindCmp,
+				Op:  ops[r.Intn(len(ops))],
+				Val: tpq.NumValue(float64(r.Intn(6))),
+			}
+		}
+		if ConsistentConstraints(cs) {
+			// Every subset must also be consistent.
+			for drop := 0; drop < n; drop++ {
+				sub := append(append([]Constraint(nil), cs[:drop]...), cs[drop+1:]...)
+				if !ConsistentConstraints(sub) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package corpus searches collections of XML documents — the setting of
+// the paper's INEX study (a collection of IEEE articles). Each document
+// gets its own index; queries fan out across documents in parallel and
+// the per-document top-k lists are merged under the profile's rank order
+// into a global top k.
+//
+// Caveat, as in any federated ranking: the query score S is tf·idf with
+// per-document statistics, so S values are comparable across documents
+// only to the extent their term statistics are; K (keyword-OR score) and
+// V (value preferences) are statistics-light and merge cleanly. This
+// mirrors how INEX participants merge per-article scores.
+package corpus
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/analysis"
+	"repro/internal/index"
+	"repro/internal/plan"
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// Corpus is a set of named, indexed XML documents.
+type Corpus struct {
+	pipe text.Pipeline
+
+	mu    sync.RWMutex
+	names []string
+	docs  map[string]*xmldoc.Document
+	idx   map[string]*index.Index
+}
+
+// New creates an empty corpus with the given text pipeline.
+func New(pipe text.Pipeline) *Corpus {
+	return &Corpus{
+		pipe: pipe,
+		docs: make(map[string]*xmldoc.Document),
+		idx:  make(map[string]*index.Index),
+	}
+}
+
+// Add indexes doc under name. Adding a name twice replaces the document.
+func (c *Corpus) Add(name string, doc *xmldoc.Document) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.docs[name]; !exists {
+		c.names = append(c.names, name)
+	}
+	c.docs[name] = doc
+	c.idx[name] = index.Build(doc, c.pipe)
+}
+
+// AddXML parses src and adds it under name.
+func (c *Corpus) AddXML(name, src string) error {
+	doc, err := xmldoc.ParseString(src)
+	if err != nil {
+		return fmt.Errorf("corpus: %s: %w", name, err)
+	}
+	c.Add(name, doc)
+	return nil
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.names)
+}
+
+// Names returns the document names in insertion order.
+func (c *Corpus) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.names...)
+}
+
+// Document returns a document by name.
+func (c *Corpus) Document(name string) (*xmldoc.Document, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[name]
+	return d, ok
+}
+
+// Result is one globally ranked answer.
+type Result struct {
+	DocName string
+	Node    xmldoc.NodeID
+	Path    string
+	S, K    float64
+	Snippet string
+}
+
+// Response is a corpus search outcome.
+type Response struct {
+	Results    []Result
+	AppliedSRs []string
+	Elapsed    time.Duration
+	// DocsSearched is the number of documents the query ran against.
+	DocsSearched int
+}
+
+// Search personalizes q with prof (once — the rewriting is document-
+// independent), evaluates it against every document in parallel, and
+// merges the per-document top-k lists into the global top k.
+func (c *Corpus) Search(q *tpq.Query, prof *profile.Profile, k int, strat plan.Strategy) (*Response, error) {
+	if q == nil {
+		return nil, fmt.Errorf("corpus: nil query")
+	}
+	if k <= 0 {
+		k = 10
+	}
+	start := time.Now()
+
+	encoded := q
+	var applied []string
+	if prof != nil {
+		if rep := analysis.DetectAmbiguityPrioritized(prof.VORs); rep.Ambiguous {
+			return nil, fmt.Errorf("corpus: ambiguous ordering rules: %s", rep.Suggestion)
+		}
+		var err error
+		encoded, applied, err = analysis.EncodeFlock(prof.SRs, q)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c.mu.RLock()
+	names := append([]string(nil), c.names...)
+	idx := make(map[string]*index.Index, len(names))
+	docs := make(map[string]*xmldoc.Document, len(names))
+	for _, n := range names {
+		idx[n] = c.idx[n]
+		docs[n] = c.docs[n]
+	}
+	c.mu.RUnlock()
+
+	type docHit struct {
+		doc string
+		a   algebra.Answer
+	}
+	var (
+		hitMu  sync.Mutex
+		hits   []docHit
+		errMu  sync.Mutex
+		runErr error
+	)
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p, err := plan.Build(idx[name], encoded, prof, k, strat)
+			if err != nil {
+				errMu.Lock()
+				if runErr == nil {
+					runErr = fmt.Errorf("corpus: %s: %w", name, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			answers := p.Execute()
+			hitMu.Lock()
+			for _, a := range answers {
+				hits = append(hits, docHit{doc: name, a: a})
+			}
+			hitMu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	ranker := &algebra.Ranker{Prof: prof}
+	mode := algebra.ModeForProfile(prof)
+	sort.SliceStable(hits, func(i, j int) bool {
+		cmp := ranker.Compare(&hits[i].a, &hits[j].a, mode)
+		if cmp != 0 {
+			return cmp > 0
+		}
+		if hits[i].doc != hits[j].doc {
+			return hits[i].doc < hits[j].doc
+		}
+		return hits[i].a.Node < hits[j].a.Node
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+
+	resp := &Response{
+		AppliedSRs:   applied,
+		Elapsed:      time.Since(start),
+		DocsSearched: len(names),
+	}
+	for _, h := range hits {
+		doc := docs[h.doc]
+		resp.Results = append(resp.Results, Result{
+			DocName: h.doc,
+			Node:    h.a.Node,
+			Path:    doc.Path(h.a.Node),
+			S:       h.a.S,
+			K:       h.a.K,
+			Snippet: clip(doc.TextContent(h.a.Node), 90),
+		})
+	}
+	return resp, nil
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

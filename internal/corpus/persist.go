@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/index"
+	"repro/internal/text"
+	"repro/internal/xmldoc"
+)
+
+// corpusHeader leads a corpus snapshot.
+type corpusHeader struct {
+	Version int
+	Pipe    text.Pipeline
+	Names   []string
+}
+
+const persistVersion = 1
+
+// Save writes the whole corpus (documents + indexes) as one binary
+// snapshot, so a collection indexed once can be reopened instantly.
+func (c *Corpus) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(corpusHeader{
+		Version: persistVersion,
+		Pipe:    c.pipe,
+		Names:   c.names,
+	}); err != nil {
+		return fmt.Errorf("corpus: save header: %w", err)
+	}
+	for _, name := range c.names {
+		if err := c.docs[name].Save(w); err != nil {
+			return fmt.Errorf("corpus: save %s: %w", name, err)
+		}
+		if err := c.idx[name].Save(w); err != nil {
+			return fmt.Errorf("corpus: save %s index: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a corpus snapshot written by Save.
+func Load(r io.Reader) (*Corpus, error) {
+	var h corpusHeader
+	if err := gob.NewDecoder(r).Decode(&h); err != nil {
+		return nil, fmt.Errorf("corpus: load header: %w", err)
+	}
+	if h.Version != persistVersion {
+		return nil, fmt.Errorf("corpus: load: unsupported snapshot version %d", h.Version)
+	}
+	c := New(h.Pipe)
+	for _, name := range h.Names {
+		doc, err := xmldoc.Load(r)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: load %s: %w", name, err)
+		}
+		ix, err := index.Load(r, doc)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: load %s index: %w", name, err)
+		}
+		c.mu.Lock()
+		c.names = append(c.names, name)
+		c.docs[name] = doc
+		c.idx[name] = ix
+		c.mu.Unlock()
+	}
+	return c, nil
+}

@@ -1,0 +1,57 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/tpq"
+)
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	c := testCorpus(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("Len = %d vs %d", c2.Len(), c.Len())
+	}
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+	r1, err := c.Search(q, nil, 10, plan.Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c2.Search(q, nil, 10, plan.Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Results) != len(r2.Results) {
+		t.Fatalf("results differ: %d vs %d", len(r1.Results), len(r2.Results))
+	}
+	for i := range r1.Results {
+		a, b := r1.Results[i], r2.Results[i]
+		if a.DocName != b.DocName || a.Node != b.Node || a.S != b.S || a.K != b.K {
+			t.Errorf("result %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCorpusLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Errorf("garbage must fail")
+	}
+	// Truncated after the header.
+	c := testCorpus(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:40])); err == nil {
+		t.Errorf("truncated snapshot must fail")
+	}
+}

@@ -1,0 +1,257 @@
+// Package engine is PIMENTO's personalization driver: it runs the static
+// analyses of Section 5 (scoping-rule conflicts, ordering-rule
+// ambiguity), enforces the profile by encoding the query flock into a
+// single plan (Section 6), executes it with OR-aware top-k pruning, and
+// reports results with per-operator statistics.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/analysis"
+	"repro/internal/index"
+	"repro/internal/plan"
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// Engine answers personalized queries over one indexed document.
+type Engine struct {
+	doc *xmldoc.Document
+	ix  *index.Index
+}
+
+// New indexes doc under the given text pipeline and returns an engine.
+func New(doc *xmldoc.Document, pipe text.Pipeline) *Engine {
+	return &Engine{doc: doc, ix: index.Build(doc, pipe)}
+}
+
+// FromXML parses and indexes an XML document.
+func FromXML(r io.Reader, pipe text.Pipeline) (*Engine, error) {
+	doc, err := xmldoc.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return New(doc, pipe), nil
+}
+
+// Document returns the engine's document.
+func (e *Engine) Document() *xmldoc.Document { return e.doc }
+
+// Index returns the engine's index.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Request is one personalized search.
+type Request struct {
+	Query   *tpq.Query
+	Profile *profile.Profile // nil disables personalization
+	K       int              // result size; defaults to 10
+	// Strategy selects the physical plan; defaults to Push (the paper's
+	// winner).
+	Strategy plan.Strategy
+	// LiteralRewrite evaluates the whole query flock by literal rewriting
+	// (one query after another) instead of the single-plan encoding; it
+	// exists for comparison and testing.
+	LiteralRewrite bool
+	// TwigAccess uses the holistic twig semijoin as the access path
+	// instead of scan + per-candidate matching.
+	TwigAccess bool
+	// Thesaurus, when non-nil, expands required full-text predicates
+	// with optional synonym predicates at ThesaurusWeight (default 0.5).
+	Thesaurus       *text.Thesaurus
+	ThesaurusWeight float64
+}
+
+// Result is one ranked answer.
+type Result struct {
+	Node    xmldoc.NodeID
+	Path    string
+	S, K    float64
+	Snippet string
+}
+
+// Response carries the answers plus everything the personalization
+// pipeline decided along the way.
+type Response struct {
+	Results      []Result
+	EncodedQuery *tpq.Query
+	AppliedSRs   []string
+	PlanShape    string
+	Stats        []algebra.OpStats
+	TotalPruned  int
+	Elapsed      time.Duration
+}
+
+// Search personalizes and evaluates the request. It fails when the
+// profile's value-based ORs are ambiguous (Section 5.2 requires the user
+// to resolve ambiguity with priorities before the profile is enforced)
+// or when its scoping rules have unresolvable conflict cycles.
+func (e *Engine) Search(req Request) (*Response, error) {
+	if req.Query == nil {
+		return nil, fmt.Errorf("engine: nil query")
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	strat := req.Strategy // plan.Default resolves to Push inside Build
+
+	start := time.Now()
+	q := req.Query
+	var applied []string
+	if req.Profile != nil {
+		if rep := analysis.DetectAmbiguityPrioritized(req.Profile.VORs); rep.Ambiguous {
+			return nil, fmt.Errorf(
+				"engine: ambiguous value-based ordering rules (cycle %v): %s",
+				rep.Cycle, rep.Suggestion)
+		}
+		var err error
+		if req.LiteralRewrite {
+			return e.literalFlockSearch(req, k, strat, start)
+		}
+		q, applied, err = analysis.EncodeFlock(req.Profile.SRs, req.Query)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if req.Thesaurus != nil && req.Thesaurus.Len() > 0 {
+		w := req.ThesaurusWeight
+		if w == 0 {
+			w = 0.5
+		}
+		q = q.ExpandPhrases(req.Thesaurus.Synonyms, w)
+	}
+
+	p, err := plan.BuildWith(e.ix, q, req.Profile, k,
+		plan.Options{Strategy: strat, TwigAccess: req.TwigAccess})
+	if err != nil {
+		return nil, err
+	}
+	answers := p.Execute()
+
+	resp := &Response{
+		EncodedQuery: q,
+		AppliedSRs:   applied,
+		PlanShape:    p.String(),
+		Stats:        p.Stats(),
+		TotalPruned:  p.TotalPruned(),
+		Elapsed:      time.Since(start),
+	}
+	resp.Results = e.materialize(answers)
+	return resp, nil
+}
+
+// literalFlockSearch evaluates every query of the flock separately and
+// merges results (rewritten-query answers get a rank bonus per flock
+// position). It exists to validate the single-plan encoding.
+func (e *Engine) literalFlockSearch(req Request, k int, strat plan.Strategy, start time.Time) (*Response, error) {
+	flock, applied, err := analysis.Flock(req.Profile.SRs, req.Query)
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		a     algebra.Answer
+		bonus float64
+	}
+	best := map[xmldoc.NodeID]scored{}
+	for pos, fq := range flock {
+		p, err := plan.Build(e.ix, fq, req.Profile, k, strat)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range p.Execute() {
+			bonus := float64(pos) // later flock members are more personalized
+			if cur, ok := best[a.Node]; !ok || a.S+bonus > cur.a.S+cur.bonus {
+				best[a.Node] = scored{a: a, bonus: bonus}
+			}
+		}
+	}
+	merged := make([]algebra.Answer, 0, len(best))
+	for _, s := range best {
+		a := s.a
+		a.S += s.bonus
+		merged = append(merged, a)
+	}
+	ranker := &algebra.Ranker{Prof: req.Profile}
+	mode := algebra.ModeForProfile(req.Profile)
+	sortAnswers(merged, ranker, mode)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return &Response{
+		EncodedQuery: flock[len(flock)-1],
+		AppliedSRs:   applied,
+		PlanShape:    fmt.Sprintf("literal flock of %d queries", len(flock)),
+		Elapsed:      time.Since(start),
+		Results:      e.materialize(merged),
+	}, nil
+}
+
+func sortAnswers(as []algebra.Answer, r *algebra.Ranker, mode algebra.Mode) {
+	// Insertion sort with the ranker comparison: answer lists here are
+	// small (k-bounded merges).
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0; j-- {
+			c := r.Compare(&as[j], &as[j-1], mode)
+			if c > 0 || (c == 0 && as[j].Node < as[j-1].Node) {
+				as[j], as[j-1] = as[j-1], as[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func (e *Engine) materialize(answers []algebra.Answer) []Result {
+	out := make([]Result, len(answers))
+	for i, a := range answers {
+		out[i] = Result{
+			Node:    a.Node,
+			Path:    e.doc.Path(a.Node),
+			S:       a.S,
+			K:       a.K,
+			Snippet: snippet(e.doc.TextContent(a.Node), 90),
+		}
+	}
+	return out
+}
+
+func snippet(s string, max int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) <= max {
+		return s
+	}
+	cut := s[:max]
+	if i := strings.LastIndexByte(cut, ' '); i > max/2 {
+		cut = cut[:i]
+	}
+	return cut + "…"
+}
+
+// AnalyzeProfile runs the Section 5 static analyses for a profile against
+// a query without executing anything — the "explain" entry point.
+type ProfileAnalysis struct {
+	Conflicts   *analysis.ConflictReport
+	ConflictErr error
+	Ambiguity   analysis.AmbiguityReport
+	Flock       []*tpq.Query
+	Applied     []string
+}
+
+// AnalyzeProfile reports rule applicability, conflicts, the application
+// order, the resulting flock, and VOR ambiguity.
+func AnalyzeProfile(prof *profile.Profile, q *tpq.Query) *ProfileAnalysis {
+	pa := &ProfileAnalysis{}
+	pa.Conflicts, pa.ConflictErr = analysis.AnalyzeSRs(prof.SRs, q)
+	pa.Ambiguity = analysis.DetectAmbiguityPrioritized(prof.VORs)
+	if pa.ConflictErr == nil {
+		pa.Flock, pa.Applied, _ = analysis.Flock(prof.SRs, q)
+	}
+	return pa
+}

@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/index"
+	"repro/internal/xmldoc"
+)
+
+// Save writes an engine snapshot (document + index) so a corpus can be
+// reopened without re-parsing and re-indexing the XML.
+func (e *Engine) Save(w io.Writer) error {
+	if err := e.doc.Save(w); err != nil {
+		return fmt.Errorf("engine: save document: %w", err)
+	}
+	if err := e.ix.Save(w); err != nil {
+		return fmt.Errorf("engine: save index: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*Engine, error) {
+	doc, err := xmldoc.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: load: %w", err)
+	}
+	ix, err := index.Load(r, doc)
+	if err != nil {
+		return nil, fmt.Errorf("engine: load: %w", err)
+	}
+	return &Engine{doc: doc, ix: ix}, nil
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := newEngine(t)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"] and price < 2000]`)
+	r1, err := e.Search(Request{Query: q, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Search(Request{Query: q, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Results) != len(r2.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(r1.Results), len(r2.Results))
+	}
+	for i := range r1.Results {
+		a, b := r1.Results[i], r2.Results[i]
+		if a.Node != b.Node || a.S != b.S || a.K != b.K {
+			t.Errorf("result %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Errorf("garbage must fail")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Errorf("empty input must fail")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	e := newEngine(t)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, len(full) / 3, len(full) - 2} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated snapshot (len %d of %d) must fail", cut, len(full))
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedIndex(t *testing.T) {
+	// Save engine A's document followed by engine B's index: the
+	// cross-check must fail.
+	a := newEngine(t)
+	bDoc, err := xmldoc.ParseString(`<x><y>different content entirely</y></x>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(bDoc, text.Pipeline{})
+
+	var buf bytes.Buffer
+	if err := a.Document().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Index().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Errorf("mismatched document/index pair must be rejected")
+	}
+}

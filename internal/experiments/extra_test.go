@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExtraQueries(t *testing.T) {
+	rows := RunExtraQueries(42, 512*1024, 10, 2)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Answers == 0 {
+			t.Errorf("%s: no answers", r.Name)
+		}
+		if r.NaiveTime <= 0 || r.PushTime <= 0 {
+			t.Errorf("%s: bad times %+v", r.Name, r)
+		}
+	}
+	out := FormatExtraQueries(rows)
+	if !strings.Contains(out, "Q2-person-address") || !strings.Contains(out, "Q3-items") {
+		t.Errorf("format: %s", out)
+	}
+}
+
+// TestExtraQueriesPushNeverWorseOnAnswers asserts the plans agree on the
+// result set (soundness) for the extra workloads.
+func TestExtraQueriesPushNeverWorse(t *testing.T) {
+	rows := RunExtraQueries(42, 1024*1024, 10, 3)
+	for _, r := range rows {
+		// Allow measurement noise but catch gross regressions: push
+		// must not be slower than naive by more than 2x.
+		if r.PushTime > 2*r.NaiveTime {
+			t.Errorf("%s: push %v vs naive %v", r.Name, r.PushTime, r.NaiveTime)
+		}
+	}
+}

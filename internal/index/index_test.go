@@ -1,0 +1,295 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/text"
+	"repro/internal/xmldoc"
+)
+
+const dealerXML = `
+<dealer>
+  <car>
+    <description>It is in good condition. I used it to go to work in NYC.</description>
+    <price>500</price>
+    <color>red</color>
+  </car>
+  <car>
+    <description>Powerful car. Low mileage. Eager seller. good shape</description>
+    <price>1500</price>
+    <color>blue</color>
+  </car>
+  <car>
+    <description>best bid wins. good condition, good condition indeed</description>
+    <price>900</price>
+  </car>
+</dealer>`
+
+func buildIdx(t *testing.T, src string) *Index {
+	t.Helper()
+	d, err := xmldoc.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Build(d, text.Pipeline{}) // no stemming: exact-token tests
+}
+
+func TestTagIndex(t *testing.T) {
+	ix := buildIdx(t, dealerXML)
+	if got := ix.TagCount("car"); got != 3 {
+		t.Fatalf("TagCount(car) = %d", got)
+	}
+	cars := ix.Elements("car")
+	for i := 1; i < len(cars); i++ {
+		if cars[i-1] >= cars[i] {
+			t.Errorf("Elements not in document order: %v", cars)
+		}
+	}
+	if got := ix.TagCount("nothing"); got != 0 {
+		t.Errorf("TagCount(nothing) = %d", got)
+	}
+	tags := ix.Tags()
+	want := []string{"car", "color", "dealer", "description", "price"}
+	if strings.Join(tags, ",") != strings.Join(want, ",") {
+		t.Errorf("Tags = %v", tags)
+	}
+}
+
+func TestContainsSingleTerm(t *testing.T) {
+	ix := buildIdx(t, dealerXML)
+	cars := ix.Elements("car")
+	if !ix.Contains(cars[0], "NYC") {
+		t.Errorf("car 0 should contain NYC")
+	}
+	if ix.Contains(cars[1], "NYC") {
+		t.Errorf("car 1 should not contain NYC")
+	}
+	// Scope: the dealer root contains everything.
+	if !ix.Contains(ix.Document().Root(), "mileage") {
+		t.Errorf("root should contain mileage")
+	}
+	// Case folding.
+	if !ix.Contains(cars[0], "nyc") {
+		t.Errorf("case folding failed")
+	}
+}
+
+func TestContainsPhrase(t *testing.T) {
+	ix := buildIdx(t, dealerXML)
+	cars := ix.Elements("car")
+	if !ix.Contains(cars[0], "good condition") {
+		t.Errorf("car 0 has the phrase")
+	}
+	if ix.Contains(cars[1], "good condition") {
+		t.Errorf("car 1 has 'good' and (no) 'condition' but not the phrase")
+	}
+	if !ix.Contains(cars[1], "low mileage") {
+		t.Errorf("car 1 has low mileage")
+	}
+	if !ix.Contains(cars[2], "best bid") {
+		t.Errorf("car 2 has best bid")
+	}
+	if ix.Contains(cars[0], "condition good") {
+		t.Errorf("phrase order must matter")
+	}
+	if ix.Contains(cars[0], "zzz yyy") {
+		t.Errorf("absent phrase")
+	}
+	if ix.Contains(cars[0], "") {
+		t.Errorf("empty phrase must not match")
+	}
+}
+
+func TestTF(t *testing.T) {
+	ix := buildIdx(t, dealerXML)
+	cars := ix.Elements("car")
+	if got := ix.TF(cars[2], "good condition"); got != 2 {
+		t.Errorf("TF(car2, good condition) = %d, want 2", got)
+	}
+	if got := ix.TF(cars[0], "good condition"); got != 1 {
+		t.Errorf("TF(car0) = %d, want 1", got)
+	}
+	if got := ix.TF(ix.Document().Root(), "good condition"); got != 3 {
+		t.Errorf("TF(root) = %d, want 3", got)
+	}
+	if got := ix.TF(cars[1], "good condition"); got != 0 {
+		t.Errorf("TF(car1) = %d, want 0", got)
+	}
+}
+
+func TestDF(t *testing.T) {
+	ix := buildIdx(t, dealerXML)
+	if got := ix.DF("car", "good condition"); got != 2 {
+		t.Errorf("DF = %d, want 2", got)
+	}
+	if got := ix.DF("car", "powerful"); got != 1 {
+		t.Errorf("DF(powerful) = %d, want 1", got)
+	}
+	if got := ix.DF("car", "zebra"); got != 0 {
+		t.Errorf("DF(zebra) = %d", got)
+	}
+}
+
+func TestScoreProperties(t *testing.T) {
+	ix := buildIdx(t, dealerXML)
+	cars := ix.Elements("car")
+	s0 := ix.Score(cars[0], "good condition")
+	s1 := ix.Score(cars[1], "good condition")
+	s2 := ix.Score(cars[2], "good condition")
+	if s1 != 0 {
+		t.Errorf("non-matching element must score 0, got %v", s1)
+	}
+	if !(s0 > 0 && s0 <= MaxScore) {
+		t.Errorf("score out of range: %v", s0)
+	}
+	if !(s2 > s0) {
+		t.Errorf("higher tf must score higher: tf=2 score %v vs tf=1 score %v", s2, s0)
+	}
+	// Rarer phrases get a higher idf: "best bid" occurs in 1 of 3 cars.
+	rare := ix.Score(cars[2], "best bid")
+	if !(rare > s0) {
+		t.Errorf("rarer phrase should outscore commoner one: %v vs %v", rare, s0)
+	}
+}
+
+func TestPhraseAcrossTextNodes(t *testing.T) {
+	// "good" ends one element's text, "condition" starts a sibling's: the
+	// phrase must NOT match across text-node boundaries.
+	src := `<a><b>it is good</b><c>condition matters</c></a>`
+	ix := buildIdx(t, src)
+	if ix.Contains(ix.Document().Root(), "good condition") {
+		t.Errorf("phrase must not span text nodes")
+	}
+	if !ix.Contains(ix.Document().Root(), "good") {
+		t.Errorf("single term must match")
+	}
+}
+
+func TestStemmedIndex(t *testing.T) {
+	d, err := xmldoc.ParseString(`<a><p>mining associations effectively</p></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(d, text.Pipeline{Stem: true})
+	root := d.Root()
+	if !ix.Contains(root, "mine association") {
+		t.Errorf("stemmed index should match inflections")
+	}
+	plain := Build(d, text.Pipeline{})
+	if plain.Contains(root, "mine association") {
+		t.Errorf("unstemmed index must not match inflections")
+	}
+}
+
+// TestPropertyContainsAgreesWithNaiveScan cross-checks the index probe
+// against a naive text scan on random documents.
+func TestPropertyContainsAgreesWithNaiveScan(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	words := []string{"red", "car", "bid", "best", "mileage", "low", "good"}
+	pipe := text.Pipeline{}
+	for iter := 0; iter < 150; iter++ {
+		b := xmldoc.NewBuilder()
+		b.Start("root")
+		nElems := 1 + r.Intn(8)
+		for i := 0; i < nElems; i++ {
+			b.Start("item")
+			nSents := r.Intn(3)
+			for s := 0; s < nSents; s++ {
+				n := 1 + r.Intn(5)
+				var sb strings.Builder
+				for w := 0; w < n; w++ {
+					if w > 0 {
+						sb.WriteByte(' ')
+					}
+					sb.WriteString(words[r.Intn(len(words))])
+				}
+				b.Elem("txt", sb.String())
+			}
+			b.End()
+		}
+		b.End()
+		doc := b.MustDocument()
+		ix := Build(doc, pipe)
+
+		// Random probe phrases of length 1..3.
+		for probe := 0; probe < 10; probe++ {
+			n := 1 + r.Intn(3)
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = words[r.Intn(len(words))]
+			}
+			phrase := strings.Join(parts, " ")
+			for _, e := range ix.Elements("item") {
+				// Naive: phrase must appear inside a single text node.
+				naive := false
+				doc.Walk(func(id xmldoc.NodeID) bool {
+					if doc.Kind(id) == xmldoc.Text && doc.Contains(e, id) &&
+						pipe.ContainsPhrase(doc.Node(id).Text, phrase) {
+						naive = true
+					}
+					return true
+				})
+				if got := ix.Contains(e, phrase); got != naive {
+					t.Fatalf("Contains(%v, %q) = %v, naive = %v\ndoc: %s",
+						e, phrase, got, naive, doc.XMLString())
+				}
+			}
+		}
+	}
+}
+
+func TestPhraseCacheConcurrency(t *testing.T) {
+	ix := buildIdx(t, dealerXML)
+	cars := ix.Elements("car")
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				ix.Contains(cars[i%3], "good condition")
+				ix.TF(cars[i%3], "low mileage")
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<dealer>")
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&sb, "<car><description>car number %d in good condition low mileage</description><price>%d</price></car>", i, i)
+	}
+	sb.WriteString("</dealer>")
+	doc, err := xmldoc.ParseString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(doc, text.DefaultPipeline)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<dealer>")
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&sb, "<car><description>car number %d in good condition low mileage</description></car>", i)
+	}
+	sb.WriteString("</dealer>")
+	doc, _ := xmldoc.ParseString(sb.String())
+	ix := Build(doc, text.DefaultPipeline)
+	cars := ix.Elements("car")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Contains(cars[i%len(cars)], "good condition")
+	}
+}

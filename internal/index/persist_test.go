@@ -1,0 +1,83 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/text"
+	"repro/internal/xmldoc"
+)
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	doc, err := xmldoc.ParseString(dealerXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(doc, text.DefaultPipeline)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Load(&buf, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.NumTokens() != ix.NumTokens() {
+		t.Errorf("token count changed: %d vs %d", ix2.NumTokens(), ix.NumTokens())
+	}
+	if ix2.Pipeline() != ix.Pipeline() {
+		t.Errorf("pipeline changed")
+	}
+	cars := ix2.Elements("car")
+	if len(cars) != 3 {
+		t.Fatalf("cars = %d", len(cars))
+	}
+	for _, c := range cars {
+		if ix.Contains(c, "good condition") != ix2.Contains(c, "good condition") {
+			t.Errorf("probe disagrees after reload on car %d", c)
+		}
+		if ix.Score(c, "best bid") != ix2.Score(c, "best bid") {
+			t.Errorf("score disagrees after reload on car %d", c)
+		}
+	}
+	// Wildcard element list is rebuilt on load.
+	if len(ix2.Elements("*")) != len(ix.Elements("*")) {
+		t.Errorf("all-elements list not rebuilt")
+	}
+	if got := ix2.MaxPhraseScore("car", "good condition"); got != ix.MaxPhraseScore("car", "good condition") {
+		t.Errorf("max score disagrees")
+	}
+}
+
+func TestIndexLoadRejectsMismatchedDoc(t *testing.T) {
+	doc, _ := xmldoc.ParseString(dealerXML)
+	ix := Build(doc, text.Pipeline{})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := xmldoc.ParseString(`<x><y>small</y></x>`)
+	if _, err := Load(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Errorf("index must reject a foreign document")
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk")), doc); err == nil {
+		t.Errorf("garbage snapshot must fail")
+	}
+}
+
+func TestWildcardElements(t *testing.T) {
+	doc, _ := xmldoc.ParseString(`<a><b>t</b><c><d/></c></a>`)
+	ix := Build(doc, text.Pipeline{})
+	all := ix.Elements("*")
+	if len(all) != 4 {
+		t.Fatalf("all elements = %d", len(all))
+	}
+	if ix.TagCount("*") != 4 {
+		t.Errorf("TagCount(*) = %d", ix.TagCount("*"))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Errorf("not document order: %v", all)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package inex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGradedAssessments(t *testing.T) {
+	spec := Topics()[1] // topic 131: 4 easy, 1 narrative, 1 hard
+	doc, graded := BuildCollectionGraded(spec, 42)
+	if len(graded) != spec.Assessed() {
+		t.Fatalf("graded = %d, want %d", len(graded), spec.Assessed())
+	}
+	counts := map[int]int{}
+	for _, a := range graded {
+		counts[a.Relevance]++
+		if a.Relevance == 3 && a.Coverage != CoverageExact {
+			t.Errorf("highly relevant must have exact coverage: %+v", a)
+		}
+		if kind, _ := Kind(doc, a.Node); kind == "hard" && a.Relevance != 1 {
+			t.Errorf("hard component graded %d", a.Relevance)
+		}
+	}
+	if counts[3] != 4 || counts[2] != 1 || counts[1] != 1 {
+		t.Errorf("grade distribution = %v", counts)
+	}
+}
+
+func TestStrictQuantizationFindsEverything(t *testing.T) {
+	// The paper's misses are all low-grade components: under INEX's
+	// strict quantization the personalized system retrieves the entire
+	// pool for every topic.
+	rows, err := RunQuantized(42, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Errorf("topic %d: empty strict pool", r.Topic)
+		}
+		if r.Found != r.Total {
+			t.Errorf("topic %d: strict recall %v/%v", r.Topic, r.Found, r.Total)
+		}
+	}
+}
+
+func TestGeneralizedQuantizationMatchesTable1Shape(t *testing.T) {
+	rows, err := RunQuantized(42, Generalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := RunTable1(42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		// Generalized credit found/total must track the binary
+		// found/assessed ratio: topics with misses lose credit.
+		binaryLoss := table[i].Missed > 0
+		gradedLoss := r.Found < r.Total
+		if binaryLoss != gradedLoss {
+			t.Errorf("topic %d: binary missed=%d but graded found %v/%v",
+				r.Topic, table[i].Missed, r.Found, r.Total)
+		}
+	}
+}
+
+func TestQuantizationValues(t *testing.T) {
+	cases := []struct {
+		a       Assessment
+		strict  float64
+		general float64
+	}{
+		{Assessment{Relevance: 3, Coverage: CoverageExact}, 1, 1},
+		{Assessment{Relevance: 2, Coverage: CoverageExact}, 0, 0.75},
+		{Assessment{Relevance: 1, Coverage: CoverageTooSmall}, 0, 0.25},
+		{Assessment{Relevance: 0, Coverage: CoverageNone}, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Strict(c.a); got != c.strict {
+			t.Errorf("Strict(%+v) = %v", c.a, got)
+		}
+		if got := Generalized(c.a); got != c.general {
+			t.Errorf("Generalized(%+v) = %v", c.a, got)
+		}
+	}
+}
+
+func TestFormatGraded(t *testing.T) {
+	rows, err := RunQuantized(42, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatGraded("strict", rows)
+	for _, frag := range []string{"strict", "Topic", "130", "151"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}

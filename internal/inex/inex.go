@@ -1,0 +1,476 @@
+// Package inex is the INEX substrate for the effectiveness study of
+// Section 7.1 (Table 1). The real INEX collection (IEEE Computer Society
+// articles), topics and relevance assessments are proprietary; this
+// package synthesizes a collection with the same machinery:
+//
+//   - IEEE-style articles (article/fm/au+abs, article/bdy/sec/p+fig);
+//   - the paper's 8 topics (130, 131, 132, 140, 141, 142, 145, 151),
+//     each a NEXI-style TPQ plus a profile derived from the topic
+//     narrative — a scoping rule that relaxes the query keyword (the
+//     paper's "some form of relaxation") and a keyword OR over the
+//     narrative's related terms, exactly like the paper's example KOR
+//     for topic 131 (data cube / association rule / data mining);
+//   - planted relevance assessments with the same assessed-pool sizes as
+//     Table 1's "Out of" column. Components come in four kinds: easy
+//     (query keyword + narrative terms), narrative-only (reachable only
+//     through the profile's relaxation — these are what personalization
+//     wins), hard (only unrelated synonyms — these stay missed, Table
+//     1's nonzero "Missed" entries), and distractors (query keyword but
+//     not assessed — these drive over-retrieval, the paper's "poor
+//     recall" observation).
+//
+// Evaluation mirrors Section 7.1: "We considered the best 5 answers for
+// each XML element type that was requested", counting answers with a
+// positive score, and including "distinguished nodes other than the ones
+// requested by the query" (each topic lists its component types).
+package inex
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/plan"
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// TypePlant says how many components of one element type to plant for a
+// topic, by kind.
+type TypePlant struct {
+	Tag               string
+	EasyWithPhrase    int // assessed; contain the query phrase + narrative terms
+	EasyNarrativeOnly int // assessed; narrative terms only (profile-reachable)
+	Hard              int // assessed; synonyms only (unreachable)
+	Distractors       int // not assessed; query phrase only
+}
+
+// Spec is one INEX topic: query, narrative-derived profile inputs, and
+// the planting schedule whose assessed total matches Table 1's "Out of".
+type Spec struct {
+	ID        int
+	Title     string
+	Phrase    string   // the topic's query phrase
+	Author    string   // optional au condition (topic 131)
+	Narrative []string // related terms from the narrative -> KOR phrases
+	Synonyms  []string // unrelated synonyms for hard components
+	Types     []TypePlant
+}
+
+// Assessed returns the topic's assessment-pool size (Table 1 "Out of").
+func (s Spec) Assessed() int {
+	t := 0
+	for _, tp := range s.Types {
+		t += tp.EasyWithPhrase + tp.EasyNarrativeOnly + tp.Hard
+	}
+	return t
+}
+
+// Topics returns the 8 paper topics. Topic 131 is the one the paper
+// quotes verbatim (Jiawei Han / data mining, with the derived KOR on
+// data cube / association rule / data mining); the others are synthetic
+// IEEE-flavored topics whose planting schedules target the Table 1 pool
+// sizes.
+func Topics() []Spec {
+	return []Spec{
+		{
+			ID: 130, Title: "information retrieval relevance feedback",
+			Phrase:    "information retrieval",
+			Narrative: []string{"relevance feedback", "query expansion"},
+			Synonyms:  []string{"document indexing heuristics"},
+			Types: []TypePlant{
+				{Tag: "abs", EasyWithPhrase: 1, EasyNarrativeOnly: 1, Distractors: 3},
+				{Tag: "p", EasyWithPhrase: 1, EasyNarrativeOnly: 1, Distractors: 3},
+				{Tag: "sec", EasyWithPhrase: 2, Distractors: 3},
+				{Tag: "fig", EasyWithPhrase: 1},
+			},
+		},
+		{
+			ID: 131, Title: "abstracts by Jiawei Han about data mining",
+			Phrase: "data mining", Author: "Jiawei Han",
+			Narrative: []string{"data cube", "association rule"},
+			Synonyms:  []string{"knowledge discovery pipelines"},
+			Types: []TypePlant{
+				{Tag: "abs", EasyWithPhrase: 2, EasyNarrativeOnly: 1, Hard: 1, Distractors: 2},
+				{Tag: "p", EasyWithPhrase: 2, Distractors: 3},
+				{Tag: "fig", Distractors: 3},
+			},
+		},
+		{
+			ID: 132, Title: "parallel architectures for matrix computation",
+			Phrase:    "matrix computation",
+			Narrative: []string{"systolic array", "parallel architecture"},
+			Synonyms:  []string{"vector pipeline hazards"},
+			Types: []TypePlant{
+				{Tag: "abs", EasyWithPhrase: 2, EasyNarrativeOnly: 1, Hard: 1, Distractors: 2},
+				{Tag: "p", EasyWithPhrase: 2, EasyNarrativeOnly: 1, Hard: 1, Distractors: 2},
+				{Tag: "sec", EasyWithPhrase: 2, Hard: 1, Distractors: 3},
+				{Tag: "fig", EasyWithPhrase: 1},
+			},
+		},
+		{
+			ID: 140, Title: "software cost estimation models",
+			Phrase:    "cost estimation",
+			Narrative: []string{"function points", "effort model"},
+			Synonyms:  []string{"budget forecasting spreadsheets"},
+			Types: []TypePlant{
+				{Tag: "abs", EasyWithPhrase: 3, EasyNarrativeOnly: 1, Hard: 2, Distractors: 1},
+				{Tag: "p", EasyWithPhrase: 3, EasyNarrativeOnly: 1, Hard: 2, Distractors: 1},
+				{Tag: "sec", EasyWithPhrase: 3, EasyNarrativeOnly: 1, Hard: 1, Distractors: 1},
+				{Tag: "fig", EasyWithPhrase: 2, Hard: 1, Distractors: 1},
+			},
+		},
+		{
+			ID: 141, Title: "object oriented design patterns",
+			Phrase:    "design patterns",
+			Narrative: []string{"object oriented", "software reuse"},
+			Synonyms:  []string{"modular blueprints catalog"},
+			Types: []TypePlant{
+				{Tag: "abs", EasyWithPhrase: 1, EasyNarrativeOnly: 1, Distractors: 3},
+				{Tag: "p", EasyWithPhrase: 1, Distractors: 4},
+				{Tag: "sec", EasyWithPhrase: 1, Distractors: 4},
+				{Tag: "fig", EasyWithPhrase: 1, Distractors: 1},
+			},
+		},
+		{
+			ID: 142, Title: "wireless network protocols",
+			Phrase:    "wireless network",
+			Narrative: []string{"medium access", "mobile host"},
+			Synonyms:  []string{"radio spectrum auctions"},
+			Types: []TypePlant{
+				{Tag: "abs", EasyWithPhrase: 2, EasyNarrativeOnly: 1, Hard: 1, Distractors: 2},
+				{Tag: "p", EasyWithPhrase: 2, Distractors: 3},
+				{Tag: "fig", EasyWithPhrase: 2, Distractors: 2},
+			},
+		},
+		{
+			ID: 145, Title: "formal verification of hardware",
+			Phrase:    "formal verification",
+			Narrative: []string{"model checking", "temporal logic"},
+			Synonyms:  []string{"silicon audit procedures"},
+			Types: []TypePlant{
+				{Tag: "abs", EasyWithPhrase: 1, EasyNarrativeOnly: 1, Distractors: 3},
+				{Tag: "p", EasyWithPhrase: 2, Distractors: 3},
+				{Tag: "sec", EasyWithPhrase: 2, Distractors: 3},
+			},
+		},
+		{
+			ID: 151, Title: "image compression algorithms",
+			Phrase:    "image compression",
+			Narrative: []string{"wavelet transform", "entropy coding"},
+			Synonyms:  []string{"pixel shrinking tricks"},
+			Types: []TypePlant{
+				{Tag: "abs", EasyWithPhrase: 2, EasyNarrativeOnly: 1, Distractors: 2},
+				{Tag: "p", EasyWithPhrase: 2, Distractors: 3},
+				{Tag: "fig", EasyWithPhrase: 1},
+			},
+		},
+	}
+}
+
+var fillerWords = []string{
+	"system", "approach", "result", "method", "analysis", "evaluation",
+	"performance", "experiment", "section", "framework", "implementation",
+	"algorithm", "study", "proposed", "novel", "technique", "problem",
+}
+
+type builder struct {
+	r *rand.Rand
+	b *xmldoc.Builder
+}
+
+func (g *builder) sentence(n int, inject ...string) string {
+	var sb strings.Builder
+	pos := map[int]string{}
+	for i, p := range inject {
+		pos[1+i*2] = p
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if p, ok := pos[i]; ok {
+			sb.WriteString(p)
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(fillerWords[g.r.Intn(len(fillerWords))])
+	}
+	return sb.String()
+}
+
+// BuildCollection synthesizes the topic's collection and returns the
+// document plus the assessed component IDs (the simulated INEX
+// assessment).
+func BuildCollection(spec Spec, seed int64) (*xmldoc.Document, []xmldoc.NodeID) {
+	g := &builder{r: rand.New(rand.NewSource(seed ^ int64(spec.ID))), b: xmldoc.NewBuilder()}
+	g.b.Start("collection")
+
+	var plants []plantSpec
+	for _, tp := range spec.Types {
+		for i := 0; i < tp.EasyWithPhrase; i++ {
+			plants = append(plants, plantSpec{
+				tag:     tp.Tag,
+				content: g.sentence(14, spec.Phrase, spec.Narrative[g.r.Intn(len(spec.Narrative))]),
+				assess:  true, author: true, kind: "easy",
+			})
+		}
+		for i := 0; i < tp.EasyNarrativeOnly; i++ {
+			inj := append([]string(nil), spec.Narrative...)
+			plants = append(plants, plantSpec{
+				tag:     tp.Tag,
+				content: g.sentence(14, inj...),
+				assess:  true, author: true, kind: "narrative",
+			})
+		}
+		for i := 0; i < tp.Hard; i++ {
+			plants = append(plants, plantSpec{
+				tag:     tp.Tag,
+				content: g.sentence(14, spec.Synonyms[g.r.Intn(len(spec.Synonyms))]),
+				assess:  true, author: true, kind: "hard",
+			})
+		}
+		for i := 0; i < tp.Distractors; i++ {
+			// Distractors satisfy the whole query (for authored topics
+			// they are other on-phrase components by the same author) —
+			// they are what the system retrieves "instead of" assessed
+			// components.
+			plants = append(plants, plantSpec{
+				tag:     tp.Tag,
+				content: g.sentence(14, spec.Phrase),
+				assess:  false, author: true, kind: "distractor",
+			})
+		}
+	}
+	g.r.Shuffle(len(plants), func(i, j int) { plants[i], plants[j] = plants[j], plants[i] })
+
+	for i, p := range plants {
+		g.article(spec, fmt.Sprintf("a%d", i), &p)
+	}
+	// Filler articles: no topic terms at all.
+	for i := 0; i < 25; i++ {
+		g.article(spec, fmt.Sprintf("filler%d", i), nil)
+	}
+	g.b.End()
+	doc := g.b.MustDocument()
+
+	var assessed []xmldoc.NodeID
+	doc.Walk(func(id xmldoc.NodeID) bool {
+		if doc.Kind(id) == xmldoc.Element {
+			if v, ok := doc.AttrValue(id, "assessed"); ok && v == "yes" {
+				assessed = append(assessed, id)
+			}
+		}
+		return true
+	})
+	return doc, assessed
+}
+
+// plantSpec is one component to be planted into the collection.
+type plantSpec struct {
+	tag     string
+	content string
+	assess  bool
+	author  bool
+	kind    string // "easy", "narrative", "hard", "distractor"
+}
+
+// article writes one IEEE-style article; plant places the topic
+// component (nil for pure filler).
+func (g *builder) article(spec Spec, id string, plant *plantSpec) {
+	g.b.Start("article", xmldoc.Attr{Name: "id", Value: id})
+	g.b.Start("fm")
+	if plant != nil && plant.author && spec.Author != "" {
+		g.b.Elem("au", spec.Author)
+	} else {
+		g.b.Elem("au", "A. Author")
+	}
+	if plant != nil && plant.tag == "abs" {
+		g.plantElem(plant)
+	} else {
+		g.b.Elem("abs", g.sentence(12))
+	}
+	g.b.End() // fm
+	g.b.Start("bdy")
+	g.b.Start("sec")
+	g.b.Elem("st", g.sentence(4))
+	g.b.Elem("p", g.sentence(16))
+	g.b.End() // sec
+	// Planted p and fig components sit directly under bdy so that the
+	// sec-type candidate pool is not polluted by containment (a sec
+	// containing a planted paragraph would itself score on the topic).
+	if plant != nil && plant.tag == "p" {
+		g.plantElem(plant)
+	}
+	if plant != nil && plant.tag == "fig" {
+		g.plantElem(plant)
+	}
+	if plant != nil && plant.tag == "sec" {
+		// The content is direct section text (not an inner paragraph) so
+		// sec plants do not leak into the p-type candidate pool.
+		g.b.Start("sec", g.assessAttrs(plant)...)
+		g.b.Elem("st", g.sentence(3))
+		g.b.Text(plant.content)
+		g.b.End()
+	}
+	g.b.End() // bdy
+	g.b.End() // article
+}
+
+func (g *builder) plantElem(plant *plantSpec) {
+	g.b.Start(plant.tag, g.assessAttrs(plant)...)
+	g.b.Text(plant.content)
+	g.b.End()
+}
+
+// Kind reports a planted component's kind attribute ("easy",
+// "narrative", "hard", "distractor"); ok is false for filler content.
+func Kind(doc *xmldoc.Document, id xmldoc.NodeID) (string, bool) {
+	return doc.AttrValue(id, "kind")
+}
+
+func (g *builder) assessAttrs(plant *plantSpec) []xmldoc.Attr {
+	attrs := []xmldoc.Attr{{Name: "kind", Value: plant.kind}}
+	if plant.assess {
+		attrs = append(attrs, xmldoc.Attr{Name: "assessed", Value: "yes"})
+	}
+	return attrs
+}
+
+// TopicQuery builds the topic's TPQ for one requested element type —
+// topic 131's own query shape: //article[about(.//au, A)]//TYPE[about(., phrase)].
+func TopicQuery(spec Spec, typ string) *tpq.Query {
+	var src string
+	if spec.Author != "" {
+		src = fmt.Sprintf(`//article[about(.//au, %q)]//%s[about(., %q)]`,
+			spec.Author, typ, spec.Phrase)
+	} else {
+		src = fmt.Sprintf(`//article//%s[about(., %q)]`, typ, spec.Phrase)
+	}
+	return tpq.MustParse(src)
+}
+
+// TopicProfile derives the topic's profile from its narrative, as
+// Section 7.1 does: a scoping rule that relaxes the query keyword and
+// one keyword-based OR per narrative term (the paper's example derives
+// exactly this shape for topic 131).
+func TopicProfile(spec Spec, typ string) *profile.Profile {
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
+		"sr relax priority 1: if ftcontains(%s, %q) then remove ftcontains(%s, %q)\n",
+		typ, spec.Phrase, typ, spec.Phrase)
+	var fts []string
+	for _, n := range spec.Narrative {
+		fts = append(fts, fmt.Sprintf("ftcontains(x, %q)", n))
+	}
+	fmt.Fprintf(&sb, "kor narrative: x.tag = %s & y.tag = %s & %s => x < y\n",
+		typ, typ, strings.Join(fts, " & "))
+	sb.WriteString("rank K,V,S\n")
+	return profile.MustParseProfile(sb.String())
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Topic     int
+	Missed    int
+	OutOf     int
+	Retrieved int
+	InsteadOf int
+}
+
+// RunTopic evaluates one topic: the best 5 positive-score answers per
+// requested element type, compared against the planted assessment.
+// personalized toggles profile enforcement (Table 1 is personalized; the
+// unpersonalized run is the baseline EXPERIMENTS.md contrasts).
+func RunTopic(spec Spec, seed int64, personalized bool) (Table1Row, error) {
+	return RunTopicScored(spec, seed, personalized, nil)
+}
+
+// RunTopicScored is RunTopic under an alternative base relevance function
+// (nil keeps the default tf·idf) — the scorer study's entry point.
+func RunTopicScored(spec Spec, seed int64, personalized bool, scorer index.Scorer) (Table1Row, error) {
+	doc, assessed := BuildCollection(spec, seed)
+	e := engine.New(doc, text.DefaultPipeline)
+	if scorer != nil {
+		e.Index().SetScorer(scorer)
+	}
+
+	retrieved := map[xmldoc.NodeID]bool{}
+	for _, tp := range spec.Types {
+		req := engine.Request{
+			Query:    TopicQuery(spec, tp.Tag),
+			K:        5,
+			Strategy: plan.Push,
+		}
+		if personalized {
+			req.Profile = TopicProfile(spec, tp.Tag)
+		}
+		resp, err := e.Search(req)
+		if err != nil {
+			return Table1Row{}, fmt.Errorf("inex: topic %d type %s: %w", spec.ID, tp.Tag, err)
+		}
+		for _, r := range resp.Results {
+			if r.S+r.K > 1e-9 {
+				retrieved[r.Node] = true
+			}
+		}
+	}
+
+	row := Table1Row{
+		Topic:     spec.ID,
+		OutOf:     len(assessed),
+		Retrieved: len(retrieved),
+		InsteadOf: len(assessed),
+	}
+	for _, a := range assessed {
+		if !retrieved[a] {
+			row.Missed++
+		}
+	}
+	return row, nil
+}
+
+// RunTable1 reproduces Table 1: all 8 topics under profile enforcement.
+func RunTable1(seed int64, personalized bool) ([]Table1Row, error) {
+	return RunTable1Scored(seed, personalized, nil)
+}
+
+// RunTable1Scored is RunTable1 under an alternative base scorer.
+func RunTable1Scored(seed int64, personalized bool, scorer index.Scorer) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range Topics() {
+		row, err := RunTopicScored(spec, seed, personalized, scorer)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PaperTable1 is the published Table 1, for side-by-side reporting.
+var PaperTable1 = []Table1Row{
+	{Topic: 130, Missed: 0, OutOf: 7, Retrieved: 16, InsteadOf: 7},
+	{Topic: 131, Missed: 1, OutOf: 6, Retrieved: 13, InsteadOf: 6},
+	{Topic: 132, Missed: 3, OutOf: 12, Retrieved: 16, InsteadOf: 12},
+	{Topic: 140, Missed: 6, OutOf: 20, Retrieved: 18, InsteadOf: 20},
+	{Topic: 141, Missed: 0, OutOf: 5, Retrieved: 17, InsteadOf: 5},
+	{Topic: 142, Missed: 1, OutOf: 8, Retrieved: 14, InsteadOf: 8},
+	{Topic: 145, Missed: 0, OutOf: 6, Retrieved: 15, InsteadOf: 6},
+	{Topic: 151, Missed: 0, OutOf: 6, Retrieved: 11, InsteadOf: 6},
+}
+
+// FormatTable renders rows in the paper's Table 1 layout.
+func FormatTable(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("          Precision        Recall\n")
+	sb.WriteString("Topic   Missed  Out of   Retrieved  Instead Of\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-7d %-7d %-8d %-10d %d\n",
+			r.Topic, r.Missed, r.OutOf, r.Retrieved, r.InsteadOf)
+	}
+	return sb.String()
+}

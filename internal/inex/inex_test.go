@@ -1,0 +1,193 @@
+package inex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopicsMatchPaperPools(t *testing.T) {
+	// The planting schedule must reproduce Table 1's "Out of" column.
+	want := map[int]int{130: 7, 131: 6, 132: 12, 140: 20, 141: 5, 142: 8, 145: 6, 151: 6}
+	topics := Topics()
+	if len(topics) != 8 {
+		t.Fatalf("topics = %d", len(topics))
+	}
+	for _, spec := range topics {
+		if got := spec.Assessed(); got != want[spec.ID] {
+			t.Errorf("topic %d: assessed pool %d, paper says %d", spec.ID, got, want[spec.ID])
+		}
+	}
+}
+
+func TestBuildCollectionDeterministic(t *testing.T) {
+	spec := Topics()[0]
+	a, assessedA := BuildCollection(spec, 42)
+	b, assessedB := BuildCollection(spec, 42)
+	if a.XMLString() != b.XMLString() {
+		t.Fatal("collection not deterministic")
+	}
+	if len(assessedA) != len(assessedB) {
+		t.Fatal("assessments not deterministic")
+	}
+	if len(assessedA) != spec.Assessed() {
+		t.Fatalf("assessed = %d, want %d", len(assessedA), spec.Assessed())
+	}
+}
+
+func TestCollectionShape(t *testing.T) {
+	spec := Topics()[1] // topic 131
+	doc, assessed := BuildCollection(spec, 42)
+	if doc.Tag(doc.Root()) != "collection" {
+		t.Fatalf("root = %q", doc.Tag(doc.Root()))
+	}
+	if n := len(doc.ElementsByTag("article")); n < 30 {
+		t.Errorf("articles = %d, want plants + 25 filler", n)
+	}
+	// Assessed components carry the right tags.
+	tags := map[string]int{}
+	for _, a := range assessed {
+		tags[doc.Tag(a)]++
+	}
+	if tags["abs"] != 4 || tags["p"] != 2 {
+		t.Errorf("assessed tags = %v", tags)
+	}
+	// Relevant articles carry the author for topic 131.
+	aus := doc.ElementsByTag("au")
+	hasHan := false
+	for _, au := range aus {
+		if doc.TextContent(au) == "Jiawei Han" {
+			hasHan = true
+		}
+	}
+	if !hasHan {
+		t.Errorf("topic 131 collection lacks the author")
+	}
+}
+
+func TestTopicQueryShape(t *testing.T) {
+	spec := Topics()[1]
+	q := TopicQuery(spec, "abs")
+	if q.Nodes[q.Dist].Tag != "abs" {
+		t.Fatalf("dist = %q", q.Nodes[q.Dist].Tag)
+	}
+	if len(q.FindByTag("au")) != 1 {
+		t.Errorf("author condition missing: %s", q)
+	}
+	q2 := TopicQuery(Topics()[0], "p")
+	if len(q2.FindByTag("au")) != 0 {
+		t.Errorf("unexpected author condition: %s", q2)
+	}
+}
+
+func TestTopicProfileShape(t *testing.T) {
+	spec := Topics()[1]
+	prof := TopicProfile(spec, "abs")
+	if len(prof.SRs) != 1 || len(prof.KORs) != 1 {
+		t.Fatalf("profile: %d SRs, %d KORs", len(prof.SRs), len(prof.KORs))
+	}
+	if got := len(prof.KORs[0].Phrases); got != 2 {
+		t.Errorf("KOR phrases = %d", got)
+	}
+}
+
+func TestRunTopic131(t *testing.T) {
+	spec := Topics()[1]
+	row, err := RunTopic(spec, 42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OutOf != 6 || row.InsteadOf != 6 {
+		t.Errorf("pool = %+v", row)
+	}
+	// The hard component is missed; everything else is found.
+	if row.Missed != 1 {
+		t.Errorf("missed = %d, want 1 (the synonyms-only abstract)", row.Missed)
+	}
+	// Over-retrieval: more components than assessed.
+	if row.Retrieved <= row.OutOf-row.Missed {
+		t.Errorf("retrieved = %d, should exceed found-assessed", row.Retrieved)
+	}
+}
+
+func TestPersonalizationImprovesOverBaseline(t *testing.T) {
+	// The paper's claim: enforcing profiles improves retrieval of
+	// assessed components. Narrative-only components are only reachable
+	// with the profile, so the baseline must miss strictly more overall.
+	persRows, err := RunTable1(42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRows, err := RunTable1(42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persMissed, baseMissed := 0, 0
+	for i := range persRows {
+		persMissed += persRows[i].Missed
+		baseMissed += baseRows[i].Missed
+		if persRows[i].Missed > baseRows[i].Missed {
+			t.Errorf("topic %d: profile made things worse (%d vs %d)",
+				persRows[i].Topic, persRows[i].Missed, baseRows[i].Missed)
+		}
+	}
+	if persMissed >= baseMissed {
+		t.Fatalf("personalization must reduce total missed: %d vs %d", persMissed, baseMissed)
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, err := RunTable1(42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PaperTable1) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		paper := PaperTable1[i]
+		if r.Topic != paper.Topic || r.OutOf != paper.OutOf {
+			t.Errorf("row %d: %+v vs paper %+v", i, r, paper)
+		}
+		// Shape: good precision (few missed relative to pool) and
+		// over-retrieval (retrieved > found assessed).
+		if r.Missed > r.OutOf/2 {
+			t.Errorf("topic %d: missed %d of %d — precision shape broken", r.Topic, r.Missed, r.OutOf)
+		}
+		if r.Retrieved < r.OutOf-r.Missed {
+			t.Errorf("topic %d: retrieved %d < found %d", r.Topic, r.Retrieved, r.OutOf-r.Missed)
+		}
+	}
+	// Zero-miss topics in the paper should be zero-miss here.
+	for _, i := range []int{0, 4, 6, 7} { // 130, 141, 145, 151
+		if rows[i].Missed != 0 {
+			t.Errorf("topic %d: missed %d, paper has 0", rows[i].Topic, rows[i].Missed)
+		}
+	}
+}
+
+// TestTable1ReproducesPaperExactly pins the default-seed run to the
+// published Table 1 — the collection plants are calibrated so the
+// measured values coincide row for row.
+func TestTable1ReproducesPaperExactly(t *testing.T) {
+	rows, err := RunTable1(42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r != PaperTable1[i] {
+			t.Errorf("row %d: measured %+v, paper %+v", i, r, PaperTable1[i])
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable(PaperTable1)
+	for _, frag := range []string{"Topic", "Missed", "130", "151", "Instead Of"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table output missing %q:\n%s", frag, out)
+		}
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 10 {
+		t.Errorf("table lines = %d", n)
+	}
+}

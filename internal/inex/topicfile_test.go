@@ -1,0 +1,114 @@
+package inex
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// paperTopic131 is the topic file Section 7.1 quotes (lightly
+// normalized).
+const paperTopic131 = `
+<inex_topic topic_id="131" query_type="CAS">
+  <title>//article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]</title>
+  <description>We are looking for the abstracts of the documents about data
+  mining and written by Jiawei Han.</description>
+  <narrative>To be relevant, the component has to be the abstracts written by
+  Jiawei Han about "data mining". Any topics of data mining (e.g. "association
+  rules", "data cube" etc.) should be considered as relevant.</narrative>
+</inex_topic>`
+
+func TestParseTopic131(t *testing.T) {
+	topic, err := ParseTopic(paperTopic131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topic.ID != 131 || topic.QueryType != "CAS" {
+		t.Fatalf("topic = %+v", topic)
+	}
+	if topic.Query.Nodes[topic.Query.Dist].Tag != "abs" {
+		t.Errorf("distinguished = %q", topic.Query.Nodes[topic.Query.Dist].Tag)
+	}
+	aus := topic.Query.FindByTag("au")
+	if len(aus) != 1 || topic.Query.Nodes[aus[0]].FT[0].Phrase != "Jiawei Han" {
+		t.Errorf("author condition not parsed: %s", topic.Query)
+	}
+	if !strings.Contains(topic.Narrative, "association") {
+		t.Errorf("narrative lost")
+	}
+}
+
+func TestDeriveProfileFromNarrative(t *testing.T) {
+	topic, err := ParseTopic(paperTopic131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := topic.DeriveProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.SRs) != 1 {
+		t.Fatalf("SRs = %d (one relax rule for the abs keyword)", len(prof.SRs))
+	}
+	if len(prof.KORs) != 1 {
+		t.Fatalf("KORs = %d", len(prof.KORs))
+	}
+	// The derived KOR covers the narrative's quoted phrases — the
+	// paper's own derivation for this topic.
+	got := prof.KORs[0].Phrases
+	want := []string{"data mining", "association rules", "data cube"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("KOR phrases = %v, want %v", got, want)
+	}
+	if prof.KORs[0].Tag != "abs" {
+		t.Errorf("KOR tag = %q", prof.KORs[0].Tag)
+	}
+}
+
+func TestDeriveProfileExtraTerms(t *testing.T) {
+	topic, err := ParseTopic(`<inex_topic topic_id="7" query_type="CAS">
+	  <title>//article//p[about(., "query optimization")]</title>
+	  <narrative>no quoted phrases here</narrative>
+	</inex_topic>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topic.DeriveProfile(); err == nil {
+		t.Errorf("no terms anywhere must fail")
+	}
+	prof, err := topic.DeriveProfile("cost model", "join ordering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.KORs[0].Phrases) != 2 {
+		t.Errorf("phrases = %v", prof.KORs[0].Phrases)
+	}
+}
+
+func TestParseTopicErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<inex_topic topic_id="x"><title>//a</title></inex_topic>`,
+		`<inex_topic topic_id="1"><title>not a query</title></inex_topic>`,
+		`<other/>`,
+	}
+	for _, src := range bad {
+		if _, err := ParseTopic(src); err == nil {
+			t.Errorf("ParseTopic(%.40q) should fail", src)
+		}
+	}
+}
+
+func TestQuotedPhrases(t *testing.T) {
+	got := quotedPhrases(`about "data mining" and "data cube" etc, plus "x"`)
+	want := []string{"data mining", "data cube", "x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v", got)
+	}
+	if got := quotedPhrases(`no quotes`); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+	if got := quotedPhrases(`unterminated "quote`); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}

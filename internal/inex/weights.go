@@ -1,0 +1,121 @@
+package inex
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/xmldoc"
+)
+
+// This file operationalizes the paper's closing proposal (Sections 7.1
+// and 8): "we need to consider weights for our SRs and incorporate those
+// weights when the query score is computed". Section 7.1 observed that
+// relaxation let marginally relevant components displace exact matches
+// from the top k; weighting the relaxed predicates (and ranking by the
+// combined score, profile.Blend) trades the two off explicitly.
+
+// TopicProfileWeighted is TopicProfile with explicit weights: srWeight
+// scales the relaxed query-keyword predicate's score contribution,
+// korWeight the narrative keyword OR's, and blend switches the rank
+// order to the combined score K + S.
+func TopicProfileWeighted(spec Spec, typ string, srWeight, korWeight float64, blend bool) *profile.Profile {
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
+		"sr relax priority 1 weight %g: if ftcontains(%s, %q) then remove ftcontains(%s, %q)\n",
+		srWeight, typ, spec.Phrase, typ, spec.Phrase)
+	var fts []string
+	for _, n := range spec.Narrative {
+		fts = append(fts, fmt.Sprintf("ftcontains(x, %q)", n))
+	}
+	fmt.Fprintf(&sb, "kor narrative weight %g: x.tag = %s & y.tag = %s & %s => x < y\n",
+		korWeight, typ, typ, strings.Join(fts, " & "))
+	if blend {
+		sb.WriteString("rank blend\n")
+	} else {
+		sb.WriteString("rank K,V,S\n")
+	}
+	return profile.MustParseProfile(sb.String())
+}
+
+// WeightStudyRow is one measurement of the weight sweep.
+type WeightStudyRow struct {
+	KORWeight float64
+	// Missed / Retrieved as in Table 1, over all element types.
+	Missed    int
+	Retrieved int
+	// ExactInTop / NarrativeInTop / DistractorsInTop break the retrieved
+	// set down by plant kind.
+	ExactInTop       int
+	NarrativeInTop   int
+	DistractorsInTop int
+}
+
+// RunWeightStudy sweeps the narrative KOR weight for one topic under the
+// blend rank order (SR weight fixed at 1) and reports how the top-k
+// composition shifts: low weights favor exact query matches, high
+// weights favor narrative matches — the fine-tuning dial the paper
+// proposes. k is the per-type cut (use a k below the per-type pool size,
+// e.g. 3, to create the contention that makes the dial visible).
+func RunWeightStudy(spec Spec, seed int64, k int, korWeights []float64) ([]WeightStudyRow, error) {
+	if k <= 0 {
+		k = 5
+	}
+	doc, assessed := BuildCollection(spec, seed)
+	e := engine.New(doc, text.DefaultPipeline)
+
+	var rows []WeightStudyRow
+	for _, w := range korWeights {
+		retrieved := map[xmldoc.NodeID]bool{}
+		for _, tp := range spec.Types {
+			resp, err := e.Search(engine.Request{
+				Query:    TopicQuery(spec, tp.Tag),
+				Profile:  TopicProfileWeighted(spec, tp.Tag, 1, w, true),
+				K:        k,
+				Strategy: plan.Push,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("inex: weight study: topic %d type %s: %w", spec.ID, tp.Tag, err)
+			}
+			for _, r := range resp.Results {
+				if r.S+r.K > 1e-9 {
+					retrieved[r.Node] = true
+				}
+			}
+		}
+		row := WeightStudyRow{KORWeight: w, Retrieved: len(retrieved)}
+		for _, a := range assessed {
+			if !retrieved[a] {
+				row.Missed++
+			}
+		}
+		for n := range retrieved {
+			kind, _ := Kind(doc, n)
+			switch kind {
+			case "easy":
+				row.ExactInTop++
+			case "narrative":
+				row.NarrativeInTop++
+			case "distractor":
+				row.DistractorsInTop++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatWeightStudy renders the sweep.
+func FormatWeightStudy(spec Spec, rows []WeightStudyRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Weight study — topic %d under rank=blend (Section 8 future work)\n", spec.ID)
+	sb.WriteString("KOR weight  Missed  Retrieved  exact  narrative  distractors\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11g %-7d %-10d %-6d %-10d %d\n",
+			r.KORWeight, r.Missed, r.Retrieved, r.ExactInTop, r.NarrativeInTop, r.DistractorsInTop)
+	}
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package inex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWeightStudyDialShiftsComposition(t *testing.T) {
+	// Section 8's proposal, measured: under the blend rank order with a
+	// tight per-type cut, a low narrative weight keeps only exact query
+	// matches in the top k (the narrative-only assessed component is
+	// displaced by distractors); raising the weight recovers it.
+	spec := Topics()[1] // topic 131
+	rows, err := RunWeightStudy(spec, 42, 3, []float64{0.05, 0.25, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	low, high := rows[0], rows[len(rows)-1]
+	if low.NarrativeInTop != 0 {
+		t.Errorf("low weight: narrative-only should be displaced, got %d in top", low.NarrativeInTop)
+	}
+	if high.NarrativeInTop == 0 {
+		t.Errorf("high weight: narrative-only should be retrieved")
+	}
+	if !(high.Missed < low.Missed) {
+		t.Errorf("raising the weight should reduce missed: low %d, high %d",
+			low.Missed, high.Missed)
+	}
+	// Exact matches stay in the top k across the sweep (they score on
+	// both components).
+	for _, r := range rows {
+		if r.ExactInTop != 4 {
+			t.Errorf("weight %g: exact in top = %d, want 4", r.KORWeight, r.ExactInTop)
+		}
+	}
+}
+
+func TestWeightStudyDefaultK(t *testing.T) {
+	spec := Topics()[0]
+	rows, err := RunWeightStudy(spec, 42, 0, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k defaults to 5: matches the Table 1 run for this topic.
+	if rows[0].Missed != 0 {
+		t.Errorf("default k: missed = %d", rows[0].Missed)
+	}
+}
+
+func TestTopicProfileWeighted(t *testing.T) {
+	spec := Topics()[1]
+	p := TopicProfileWeighted(spec, "abs", 2, 0.5, true)
+	if p.SRs[0].EffectiveWeight() != 2 {
+		t.Errorf("sr weight = %v", p.SRs[0].EffectiveWeight())
+	}
+	if p.KORs[0].EffectiveWeight() != 0.5 {
+		t.Errorf("kor weight = %v", p.KORs[0].EffectiveWeight())
+	}
+	if got := p.Rank.String(); got != "K+S,V" {
+		t.Errorf("rank = %q", got)
+	}
+}
+
+func TestFormatWeightStudy(t *testing.T) {
+	spec := Topics()[1]
+	rows, err := RunWeightStudy(spec, 42, 3, []float64{0.25, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatWeightStudy(spec, rows)
+	for _, frag := range []string{"topic 131", "KOR weight", "narrative"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}

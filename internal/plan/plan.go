@@ -1,0 +1,270 @@
+// Package plan builds the physical query plans of Section 6 and Fig. 7:
+// NaivetopkPrune (prune only at the end), InterleavetopkPrune (prune
+// after each keyword-based OR, with or without sorting), and
+// PushtopKPrune (pruning pushed all the way down the plan), plus the
+// score-bound bookkeeping (query-scorebound, kor-scorebound) that keeps
+// every prune sound.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/index"
+	"repro/internal/profile"
+	"repro/internal/tpq"
+	"repro/internal/twig"
+)
+
+// Strategy selects the plan shape of Fig. 7.
+type Strategy uint8
+
+const (
+	// Default resolves to Push, the paper's best-performing plan.
+	Default Strategy = iota
+	// Naive applies topkPrune once, at the end of the plan (NtpkP).
+	Naive
+	// InterleaveNoSort applies topkPrune after each KOR without sorting
+	// (NS-ILtpkP).
+	InterleaveNoSort
+	// InterleaveSort sorts before each interleaved topkPrune, enabling
+	// bulk pruning (S-ILtpkP).
+	InterleaveSort
+	// Push pushes topkPrune all the way down: before the first KOR and
+	// after each one (PtkpP).
+	Push
+	// PushDeep additionally pushes prunes between the score-contributing
+	// keyword joins using query-scorebounds — the ablation DESIGN.md
+	// calls out for score-bound tightness.
+	PushDeep
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Default:
+		return "default(PtpkP)"
+	case Naive:
+		return "NtpkP"
+	case InterleaveNoSort:
+		return "NS-ILtpkP"
+	case InterleaveSort:
+		return "S-ILtpkP"
+	case Push:
+		return "PtpkP"
+	case PushDeep:
+		return "PtpkP-deep"
+	}
+	return "?"
+}
+
+// Strategies lists the four plans Fig. 7 compares, in the paper's order.
+var Strategies = []Strategy{Naive, InterleaveNoSort, InterleaveSort, Push}
+
+// Plan is an executable physical plan.
+type Plan struct {
+	Strategy Strategy
+	Mode     algebra.Mode
+	K        int
+
+	root  algebra.Operator
+	final *algebra.TopKPruneOp
+	ops   []algebra.Operator
+}
+
+// Options tunes plan compilation beyond the strategy.
+type Options struct {
+	Strategy Strategy
+	// TwigAccess replaces the scan + per-candidate structural semijoin
+	// with a holistic twig filter (internal/twig): the distinguished
+	// candidates are computed set-at-a-time before the pipeline starts.
+	TwigAccess bool
+}
+
+// Build compiles a (possibly profile-encoded) query into a physical plan.
+// The query's optional predicates are honored as outer-joins; the
+// profile supplies the ordering rules. k is the result size.
+func Build(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, strat Strategy) (*Plan, error) {
+	return BuildWith(ix, q, prof, k, Options{Strategy: strat})
+}
+
+// BuildWith is Build with full options.
+func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts Options) (*Plan, error) {
+	strat := opts.Strategy
+	if k <= 0 {
+		return nil, fmt.Errorf("plan: k must be positive, got %d", k)
+	}
+	if strat == Default {
+		strat = Push
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	m := algebra.NewMatcher(ix, q)
+	ranker := &algebra.Ranker{Prof: prof}
+	mode := algebra.ModeForProfile(prof)
+
+	p := &Plan{Strategy: strat, Mode: mode, K: k}
+	push := func(op algebra.Operator) algebra.Operator {
+		p.ops = append(p.ops, op)
+		return op
+	}
+
+	var op algebra.Operator
+	if opts.TwigAccess {
+		op = push(&algebra.ListScanOp{
+			Name: "twigscan(" + q.Nodes[q.Dist].Tag + ")",
+			IDs:  twig.Distinguished(ix, q),
+		})
+		if units := m.RequiredConstraintUnits(); len(units) > 0 {
+			op = push(&algebra.UnitFilterOp{In: op, Matcher: m, Units: units})
+		}
+	} else {
+		op = push(&algebra.ScanOp{Ix: ix, Tag: q.Nodes[q.Dist].Tag})
+		op = push(&algebra.RequiredOp{In: op, Matcher: m})
+	}
+
+	// Score-contributing keyword joins, required first. For PushDeep,
+	// interleave prunes with decreasing query-scorebounds.
+	ftUnits := m.FTUnits()
+	ftMax := make([]float64, len(ftUnits))
+	totalS := 0.0
+	for i, u := range ftUnits {
+		ftMax[i] = m.MaxUnitScore(u)
+		totalS += ftMax[i]
+	}
+	bonus := &algebra.BonusOp{Matcher: m, Units: m.OptionalBonusUnits()}
+	bonusMax := bonus.MaxScore()
+	totalS += bonusMax
+
+	var kors []*profile.KOR
+	if prof != nil {
+		kors = prof.SortKORsByPriority()
+	}
+	korMax := make([]float64, len(kors))
+	totalK := 0.0
+	for i, kor := range kors {
+		korMax[i] = algebra.MaxKORContribution(ix, kor)
+		totalK += korMax[i]
+	}
+
+	remS := totalS
+	for i, u := range ftUnits {
+		if strat == PushDeep && len(p.ops) > 2 {
+			op = push(&algebra.TopKPruneOp{
+				In: op, K: k, Mode: mode, Ranker: ranker,
+				SBound: remS, KorBound: totalK,
+			})
+		}
+		op = push(&algebra.FTOp{In: op, Matcher: m, Unit: u})
+		remS -= ftMax[i]
+	}
+	bonus.In = op
+	op = push(bonus)
+	remS = 0
+
+	if prof != nil && len(prof.VORs) > 0 {
+		op = push(&algebra.VOROp{In: op, Doc: ix.Document(), Prof: prof})
+	}
+
+	remK := totalK
+	for i, kor := range kors {
+		switch strat {
+		case Push, PushDeep:
+			// Prune right before each kor with the sum of the remaining
+			// KORs' maximal scores (Section 6.3's Plan 2 description).
+			op = push(&algebra.TopKPruneOp{
+				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
+			})
+		}
+		op = push(&algebra.KOROp{In: op, Ix: ix, Kor: kor})
+		remK -= korMax[i]
+		if remK < 1e-12 {
+			remK = 0 // absorb floating-point residue: the bound is conceptually exact
+		}
+		switch strat {
+		case InterleaveNoSort:
+			op = push(&algebra.TopKPruneOp{
+				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
+			})
+		case InterleaveSort:
+			op = push(&algebra.SortOp{In: op, Ranker: ranker, Mode: mode})
+			op = push(&algebra.TopKPruneOp{
+				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
+				SortedInput: true,
+			})
+		}
+		if (strat == Push || strat == PushDeep) && i == len(kors)-1 {
+			// Pushed all the way also means pruning after the last KOR
+			// (kor-scorebound 0), so the final sort sees a k-sized stream
+			// instead of every candidate.
+			op = push(&algebra.TopKPruneOp{
+				In: op, K: k, Mode: mode, Ranker: ranker,
+			})
+		}
+	}
+
+	// Final ranking: parametric sort + topkPrune (Fig. 4's plan tops).
+	op = push(&algebra.SortOp{In: op, Ranker: ranker, Mode: mode})
+	final := &algebra.TopKPruneOp{
+		In: op, K: k, Mode: mode, Ranker: ranker, SortedInput: true,
+	}
+	op = push(final)
+
+	p.root = op
+	p.final = final
+	return p, nil
+}
+
+// Execute runs the plan to completion and returns the top-k answers,
+// best first.
+func (p *Plan) Execute() []algebra.Answer {
+	p.root.Open()
+	for {
+		if _, ok := p.root.Next(); !ok {
+			break
+		}
+	}
+	return p.final.TopK()
+}
+
+// Stats returns per-operator counters, bottom-up.
+func (p *Plan) Stats() []algebra.OpStats {
+	out := make([]algebra.OpStats, len(p.ops))
+	for i, op := range p.ops {
+		out[i] = op.Stats()
+	}
+	return out
+}
+
+// TotalPruned sums answers dropped by all prune operators.
+func (p *Plan) TotalPruned() int {
+	t := 0
+	for _, s := range p.Stats() {
+		t += s.Pruned
+	}
+	return t
+}
+
+// String renders the plan shape for diagnostics.
+func (p *Plan) String() string {
+	s := ""
+	for i, op := range p.ops {
+		if i > 0 {
+			s += " -> "
+		}
+		s += op.Stats().Name
+	}
+	return s
+}
+
+// Evaluate is the naive reference evaluator: score every candidate fully,
+// sort by the profile's rank order, return the top k. It is the ground
+// truth the pruning plans are tested against and the evaluator used by
+// the effectiveness experiments (where pruning is not under study).
+func Evaluate(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int) ([]algebra.Answer, error) {
+	p, err := Build(ix, q, prof, k, Naive)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(), nil
+}

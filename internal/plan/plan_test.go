@@ -1,0 +1,416 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/index"
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// genDealer builds a randomized car-sale document with the attributes and
+// phrases the Fig. 2 running example uses.
+func genDealer(r *rand.Rand, nCars int) *xmldoc.Document {
+	colors := []string{"red", "blue", "green"}
+	makes := []string{"honda", "ford", "mustang"}
+	snippets := []string{
+		"good condition", "low mileage", "best bid", "NYC", "eager seller",
+		"powerful engine", "american classic", "clean title",
+	}
+	b := xmldoc.NewBuilder()
+	b.Start("dealer")
+	for i := 0; i < nCars; i++ {
+		b.Start("car")
+		var sb strings.Builder
+		n := 1 + r.Intn(4)
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				sb.WriteString(". ")
+			}
+			sb.WriteString(snippets[r.Intn(len(snippets))])
+		}
+		b.Elem("description", sb.String())
+		b.Elem("price", fmt.Sprintf("%d", 300+r.Intn(3000)))
+		if r.Intn(5) > 0 {
+			b.Elem("color", colors[r.Intn(len(colors))])
+		}
+		b.Elem("mileage", fmt.Sprintf("%d", 1000*(1+r.Intn(90))))
+		b.Elem("make", makes[r.Intn(len(makes))])
+		b.Elem("hp", fmt.Sprintf("%d", 100+10*r.Intn(20)))
+		b.End()
+	}
+	b.End()
+	return b.MustDocument()
+}
+
+const testProfile = `
+vor w1 priority 2: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2 priority 1: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+kor w4: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+kor w5: x.tag = car & y.tag = car & ftcontains(x, "NYC") => x < y
+rank K,V,S
+`
+
+func TestAllStrategiesAgreeWithNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	prof := profile.MustParseProfile(testProfile)
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"] and price < 2000]`)
+	for iter := 0; iter < 40; iter++ {
+		doc := genDealer(r, 5+r.Intn(60))
+		ix := index.Build(doc, text.Pipeline{})
+		k := 1 + r.Intn(8)
+		ref, err := Evaluate(ix, q, prof, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []Strategy{InterleaveNoSort, InterleaveSort, Push, PushDeep} {
+			p, err := Build(ix, q, prof, k, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := p.Execute()
+			if !sameAnswers(ref, got) {
+				t.Fatalf("iter %d k %d: %v disagrees with Naive\nnaive: %v\n%-5v: %v\nplan: %s",
+					iter, k, strat, describe(ref), strat, describe(got), p)
+			}
+		}
+	}
+}
+
+// sameAnswers compares results modulo reordering among exact ranking
+// ties: the (K, V-irrelevant, S) triples must match pairwise and the node
+// sets must be permutations within tie groups. We require K and S
+// sequences to match exactly and node multisets to be equal.
+func sameAnswers(a, b []algebra.Answer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	const eps = 1e-12
+	for i := range a {
+		if absf(a[i].K-b[i].K) > eps || absf(a[i].S-b[i].S) > eps {
+			return false
+		}
+	}
+	seen := map[xmldoc.NodeID]int{}
+	for i := range a {
+		seen[a[i].Node]++
+		seen[b[i].Node]--
+	}
+	for _, v := range seen {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func absf(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func describe(as []algebra.Answer) string {
+	var parts []string
+	for _, a := range as {
+		parts = append(parts, fmt.Sprintf("n%d(K=%.3f,S=%.3f)", a.Node, a.K, a.S))
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestPushPrunesMoreThanNaive(t *testing.T) {
+	// Pruning between KORs needs the accumulated K spread to exceed the
+	// remaining kor-scorebound — the paper's Section 7.2 observation that
+	// "applying the KOR which contributes the highest score first is
+	// beneficial as it increases the pruning threshold". Four KORs with a
+	// heavy first one make that happen.
+	r := rand.New(rand.NewSource(7))
+	doc := genDealer(r, 400)
+	ix := index.Build(doc, text.Pipeline{})
+	prof := profile.MustParseProfile(`
+kor k1 priority 1 weight 3: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+kor k2 priority 2: x.tag = car & y.tag = car & ftcontains(x, "NYC") => x < y
+kor k3 priority 3: x.tag = car & y.tag = car & ftcontains(x, "eager seller") => x < y
+kor k4 priority 4: x.tag = car & y.tag = car & ftcontains(x, "clean title") => x < y
+`)
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+
+	naive, err := Build(ix, q, prof, 5, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive.Execute()
+	push, err := Build(ix, q, prof, 5, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push.Execute()
+
+	// The push plan prunes before the KOR operators; its kor ops must see
+	// fewer answers than the naive plan's.
+	naiveKorIn := korInput(naive)
+	pushKorIn := korInput(push)
+	if pushKorIn >= naiveKorIn {
+		t.Errorf("push kor input %d, naive %d: pushing should cut kor work",
+			pushKorIn, naiveKorIn)
+	}
+}
+
+func korInput(p *Plan) int {
+	total := 0
+	for _, s := range p.Stats() {
+		if strings.HasPrefix(s.Name, "kor(") {
+			total += s.In
+		}
+	}
+	return total
+}
+
+func TestVOnlyProfile(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	doc := genDealer(r, 60)
+	ix := index.Build(doc, text.Pipeline{})
+	prof := profile.MustParseProfile(`
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+`)
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+	p, err := Build(ix, q, prof, 5, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != algebra.ModeVS {
+		t.Fatalf("mode = %v", p.Mode)
+	}
+	got := p.Execute()
+	if len(got) == 0 {
+		t.Fatal("no answers")
+	}
+	// Results must be sorted by increasing mileage (the VOR preference).
+	last := -1.0
+	for _, a := range got {
+		m, ok := ix.Document().NumericValue(a.Node, "mileage")
+		if !ok {
+			continue
+		}
+		if last >= 0 && m < last {
+			t.Errorf("mileage order violated: %v after %v", m, last)
+		}
+		last = m
+	}
+}
+
+func TestNoProfile(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	doc := genDealer(r, 40)
+	ix := index.Build(doc, text.Pipeline{})
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+	p, err := Build(ix, q, nil, 3, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != algebra.ModeS {
+		t.Fatalf("mode = %v", p.Mode)
+	}
+	got := p.Execute()
+	for i := 1; i < len(got); i++ {
+		if got[i].S > got[i-1].S {
+			t.Errorf("S order violated: %+v", got)
+		}
+	}
+}
+
+func TestVKSRankOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	prof := profile.MustParseProfile(testProfile + "\nrank V,K,S")
+	doc := genDealer(r, 80)
+	ix := index.Build(doc, text.Pipeline{})
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+	ref, err := Evaluate(ix, q, prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{InterleaveNoSort, InterleaveSort, Push} {
+		p, err := Build(ix, q, prof, 5, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Mode != algebra.ModeVKS {
+			t.Fatalf("mode = %v", p.Mode)
+		}
+		got := p.Execute()
+		if !sameAnswers(ref, got) {
+			t.Errorf("%v disagrees under V,K,S:\nnaive: %s\ngot:   %s",
+				strat, describe(ref), describe(got))
+		}
+	}
+}
+
+func TestEncodedOptionalPredicatesRankHigher(t *testing.T) {
+	// Flock-encoded query: optional "low mileage" (delete-encoded) must
+	// keep non-matching cars but rank matching ones higher on S.
+	doc, err := xmldoc.ParseString(`
+<dealer>
+  <car><description>good condition</description></car>
+  <car><description>good condition and low mileage</description></car>
+</dealer>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc, text.Pipeline{})
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition" and . ftcontains "low mileage"?]]`)
+	got, err := Evaluate(ix, q, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("both cars must qualify: %+v", got)
+	}
+	cars := ix.Elements("car")
+	if got[0].Node != cars[1] {
+		t.Errorf("the car satisfying the optional predicate must rank first: %s", describe(got))
+	}
+	if !(got[0].S > got[1].S) {
+		t.Errorf("optional match must add score: %s", describe(got))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	doc, _ := xmldoc.ParseString(`<a><b>x</b></a>`)
+	ix := index.Build(doc, text.Pipeline{})
+	q := tpq.MustParse(`//b`)
+	if _, err := Build(ix, q, nil, 0, Naive); err == nil {
+		t.Errorf("k=0 must fail")
+	}
+	bad := tpq.MustParse(`//b`)
+	bad.Dist = 5
+	if _, err := Build(ix, bad, nil, 3, Naive); err == nil {
+		t.Errorf("invalid query must fail")
+	}
+}
+
+func TestKFewerThanAnswers(t *testing.T) {
+	doc, _ := xmldoc.ParseString(`<d><car><description>good condition</description></car></d>`)
+	ix := index.Build(doc, text.Pipeline{})
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+	got, err := Evaluate(ix, q, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("k larger than result: %+v", got)
+	}
+}
+
+func TestPlanStringAndStats(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	doc := genDealer(r, 10)
+	ix := index.Build(doc, text.Pipeline{})
+	prof := profile.MustParseProfile(testProfile)
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+	p, err := Build(ix, q, prof, 3, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Execute()
+	s := p.String()
+	for _, frag := range []string{"scan(car)", "ftjoin", "vor", "kor(w4)", "kor(w5)", "topkPrune", "sort"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("plan %q missing %q", s, frag)
+		}
+	}
+	if p.TotalPruned() < 0 {
+		t.Errorf("TotalPruned negative")
+	}
+	stats := p.Stats()
+	if len(stats) == 0 || stats[0].Name != "scan(car)" {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestTwigAccessAgreesWithScan: the twig access path must produce the
+// exact same ranked answers as the scan + per-candidate matcher path.
+func TestTwigAccessAgreesWithScan(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	prof := profile.MustParseProfile(testProfile)
+	queries := []*tpq.Query{
+		tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`),
+		tpq.MustParse(`//car[price < 2000]`),
+		tpq.MustParse(`//dealer//car[./description and ./color]`),
+		tpq.MustParse(`//car[./description[. ftcontains "good condition" and . ftcontains "low mileage"?]]`),
+	}
+	for iter := 0; iter < 30; iter++ {
+		doc := genDealer(r, 5+r.Intn(60))
+		ix := index.Build(doc, text.Pipeline{})
+		q := queries[r.Intn(len(queries))]
+		k := 1 + r.Intn(6)
+		for _, strat := range []Strategy{Naive, Push} {
+			scan, err := BuildWith(ix, q, prof, k, Options{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			twigP, err := BuildWith(ix, q, prof, k, Options{Strategy: strat, TwigAccess: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameAnswers(scan.Execute(), twigP.Execute()) {
+				t.Fatalf("iter %d: twig access disagrees\nq: %s", iter, q)
+			}
+			if !strings.Contains(twigP.String(), "twigscan") {
+				t.Fatalf("twig plan lacks twigscan: %s", twigP)
+			}
+		}
+	}
+}
+
+// TestPropertyStrategiesAgreeRandomQueries widens the agreement check to
+// random profiles and random k over random documents.
+func TestPropertyStrategiesAgreeRandomQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	queries := []*tpq.Query{
+		tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`),
+		tpq.MustParse(`//car[price < 2000]`),
+		tpq.MustParse(`//car[./description[. ftcontains "best bid"] and price < 2500]`),
+		tpq.MustParse(`//car[./description[. ftcontains "good condition" and . ftcontains "low mileage"?]]`),
+	}
+	profiles := []*profile.Profile{
+		nil,
+		profile.MustParseProfile(`kor k1: x.tag = car & y.tag = car & ftcontains(x, "NYC") => x < y`),
+		profile.MustParseProfile(testProfile),
+		profile.MustParseProfile(`
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+kor k1 priority 1 weight 2: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+kor k2 priority 2: x.tag = car & y.tag = car & ftcontains(x, "american") => x < y
+kor k3 priority 3: x.tag = car & y.tag = car & ftcontains(x, "NYC") => x < y
+`),
+		profile.MustParseProfile(testProfile + "\nrank blend"),
+	}
+	for iter := 0; iter < 60; iter++ {
+		doc := genDealer(r, 3+r.Intn(50))
+		ix := index.Build(doc, text.Pipeline{})
+		q := queries[r.Intn(len(queries))]
+		prof := profiles[r.Intn(len(profiles))]
+		k := 1 + r.Intn(6)
+		ref, err := Evaluate(ix, q, prof, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []Strategy{InterleaveNoSort, InterleaveSort, Push, PushDeep} {
+			p, err := Build(ix, q, prof, k, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := p.Execute()
+			if !sameAnswers(ref, got) {
+				t.Fatalf("iter %d: %v disagrees\nq: %s\nnaive: %s\ngot:   %s\nplan: %s",
+					iter, strat, q, describe(ref), describe(got), p)
+			}
+		}
+	}
+}

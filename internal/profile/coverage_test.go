@@ -1,0 +1,225 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tpq"
+)
+
+func TestDeleteStructuralAtom(t *testing.T) {
+	// A delete rule that removes a whole subtree: pc(car, owner).
+	p := MustParseProfile(`sr d: if pc(car, price) then remove pc(car, owner)`)
+	q := tpq.MustParse(`//car[./price and ./owner[./name]]`)
+	out, ok := p.SRs[0].Apply(q)
+	if !ok {
+		t.Fatal("rule must apply")
+	}
+	if len(out.FindByTag("owner")) != 0 || len(out.FindByTag("name")) != 0 {
+		t.Fatalf("owner subtree kept: %s", out)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting something absent is a no-op success (the query simply
+	// lacks the optional part).
+	q2 := tpq.MustParse(`//car[./price]`)
+	out2, ok := p.SRs[0].Apply(q2)
+	if !ok {
+		t.Fatal("rule applies (condition holds), delete finds nothing")
+	}
+	if !tpq.Equivalent(q2, out2) {
+		t.Errorf("no-op delete changed the query")
+	}
+}
+
+func TestDeleteStructuralAtomOptionalEncoding(t *testing.T) {
+	p := MustParseProfile(`sr d priority 1: if pc(car, price) then remove pc(car, owner)`)
+	q := tpq.MustParse(`//car[./price and ./owner]`)
+	out, ok := p.SRs[0].EncodeOptional(q)
+	if !ok {
+		t.Fatal("encode applies")
+	}
+	owners := out.FindByTag("owner")
+	if len(owners) != 1 || !out.Nodes[owners[0]].Optional {
+		t.Fatalf("owner should be demoted to optional: %s", out)
+	}
+}
+
+func TestDeleteConstraintAtom(t *testing.T) {
+	p := MustParseProfile(`sr d: if pc(car, price) then remove price < 2000`)
+	q := tpq.MustParse(`//car[price < 2000]`)
+	out, ok := p.SRs[0].Apply(q)
+	if !ok {
+		t.Fatal("rule must apply")
+	}
+	prices := out.FindByTag("price")
+	if len(prices) != 1 || len(out.Nodes[prices[0]].Constraints) != 0 {
+		t.Fatalf("constraint kept: %s", out)
+	}
+	// Optional encoding keeps but demotes it.
+	out2, _ := p.SRs[0].EncodeOptional(q)
+	p2 := out2.FindByTag("price")[0]
+	if len(out2.Nodes[p2].Constraints) != 1 || !out2.Nodes[p2].Constraints[0].Optional {
+		t.Fatalf("constraint not demoted: %s", out2)
+	}
+}
+
+func TestDeleteCannotRemoveDistinguished(t *testing.T) {
+	p := MustParseProfile(`sr d: if pc(car, price) then remove pc(car, price)`)
+	q := tpq.MustParse(`//car/price`) // price is distinguished
+	if _, ok := p.SRs[0].Apply(q); ok {
+		t.Errorf("removing the distinguished subtree must fail")
+	}
+}
+
+func TestAddRuleUnboundVariable(t *testing.T) {
+	// Conclusion references a variable absent from the condition and not
+	// created by a structural atom: inapplicable.
+	p := MustParseProfile(`sr a: if pc(car, price) then add ftcontains(ghost, "x")`)
+	q := tpq.MustParse(`//car[./price]`)
+	if _, ok := p.SRs[0].Apply(q); ok {
+		t.Errorf("unbound conclusion variable must fail")
+	}
+}
+
+func TestAddChainedStructuralAtoms(t *testing.T) {
+	// pc chains in the conclusion resolve in any order.
+	p := MustParseProfile(`sr a: if pc(car, price) then add pc(car, seller) & pc(seller, rating) & rating > 4`)
+	q := tpq.MustParse(`//car[./price]`)
+	out, ok := p.SRs[0].Apply(q)
+	if !ok {
+		t.Fatal("rule must apply")
+	}
+	ratings := out.FindByTag("rating")
+	if len(ratings) != 1 {
+		t.Fatalf("chain not built: %s", out)
+	}
+	r := out.Nodes[ratings[0]]
+	if out.Nodes[r.Parent].Tag != "seller" || len(r.Constraints) != 1 {
+		t.Fatalf("chain mis-attached: %s", out)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringsAreParseableDescriptions(t *testing.T) {
+	p := MustParseProfile(`
+order colors: red > blue
+sr p3: if pc(car, description) then replace ftcontains(description, "low mileage") with ftcontains(description, "mileage")
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w6: x.tag = car & y.tag = car & colors(x.color, y.color) => x < y
+kor w4 weight 2: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+`)
+	for _, frag := range []string{"replace", "with"} {
+		if !strings.Contains(p.SRs[0].String(), frag) {
+			t.Errorf("SR string missing %q: %s", frag, p.SRs[0])
+		}
+	}
+	if !strings.Contains(p.VORs[0].String(), `x.color = "red"`) {
+		t.Errorf("VOR string: %s", p.VORs[0])
+	}
+	if !strings.Contains(p.VORs[1].String(), "colors(x.color, y.color)") {
+		t.Errorf("prefRel VOR string: %s", p.VORs[1])
+	}
+	if !strings.Contains(p.KORs[0].String(), "best bid") {
+		t.Errorf("KOR string: %s", p.KORs[0])
+	}
+	if p.Orders["colors"].Name() != "colors" {
+		t.Errorf("order name")
+	}
+}
+
+func TestVORStringWithCommonAndLocals(t *testing.T) {
+	p := MustParseProfile(`vor w3: x.tag = car & y.tag = car & x.make = y.make & x.fuel = "diesel" & y.age > 2 & x.hp > y.hp => x < y`)
+	s := p.VORs[0].String()
+	for _, frag := range []string{"x.make = y.make", `x.fuel = "diesel"`, "y.age > 2", "x.hp > y.hp"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("VOR string missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestAttrConstraintHolds(t *testing.T) {
+	c := AttrConstraint{Attr: "age", Op: tpq.GT, Val: tpq.NumValue(30)}
+	lk := func(v string, ok bool) func(string) (string, bool) {
+		return func(string) (string, bool) { return v, ok }
+	}
+	if !c.Holds(lk("35", true)) {
+		t.Errorf("35 > 30")
+	}
+	if c.Holds(lk("25", true)) {
+		t.Errorf("25 > 30 false")
+	}
+	if c.Holds(lk("", false)) {
+		t.Errorf("missing attr must fail")
+	}
+	if c.Holds(lk("not a number", true)) {
+		t.Errorf("non-numeric must fail a numeric bound")
+	}
+	if c.String() == "" {
+		t.Errorf("empty String")
+	}
+}
+
+func TestPartialOrderLevelUnknownValue(t *testing.T) {
+	po := NewPartialOrder("o")
+	_ = po.Add("a", "b")
+	unknown := po.Level("zzz")
+	if unknown <= po.Level("b") {
+		t.Errorf("unknown values must be least preferred: %d vs %d", unknown, po.Level("b"))
+	}
+	if got := po.Values(); len(got) != 2 {
+		t.Errorf("Values = %v", got)
+	}
+}
+
+func TestVORValidateErrors(t *testing.T) {
+	cases := []*VOR{
+		{Name: "v", Attr: "a", Form: FormAttrCmp, Op: tpq.LT},             // no tag
+		{Name: "v", Tag: "car", Form: FormAttrCmp, Op: tpq.LT},            // no attr
+		{Name: "v", Tag: "car", Attr: "a", Form: FormAttrCmp, Op: tpq.EQ}, // bad relOp
+		{Name: "v", Tag: "car", Attr: "a", Form: FormPrefRel},             // nil order
+	}
+	for i, v := range cases {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d must fail validation", i)
+		}
+	}
+}
+
+func TestCompareVORsNoRules(t *testing.T) {
+	p := NewProfile()
+	if got := p.CompareVORs(nil, nil); got != 0 {
+		t.Errorf("empty profile compare = %d", got)
+	}
+}
+
+func TestLocalAtomsAndCompAtoms(t *testing.T) {
+	p := MustParseProfile(`
+order colors: red > blue
+vor w: x.tag = car & y.tag = car & x.make = y.make & colors(x.color, y.color) => x < y
+`)
+	v := p.VORs[0]
+	comp := v.CompAtoms()
+	if len(comp) != 2 {
+		t.Fatalf("comp atoms = %v", comp)
+	}
+	if comp[0].Attr != "make" || comp[0].Op != tpq.EQ {
+		t.Errorf("common-eq atom: %+v", comp[0])
+	}
+	if comp[1].Order == nil || comp[1].Attr != "color" {
+		t.Errorf("prefRel atom: %+v", comp[1])
+	}
+	// EqConst form induces locals.
+	p2 := MustParseProfile(`vor w: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y`)
+	lx := p2.VORs[0].LocalAtoms(true)
+	ly := p2.VORs[0].LocalAtoms(false)
+	if len(lx) != 1 || lx[0].Op != tpq.EQ {
+		t.Errorf("x locals = %v", lx)
+	}
+	if len(ly) != 1 || ly[0].Op != tpq.NE {
+		t.Errorf("y locals = %v", ly)
+	}
+}

@@ -1,0 +1,49 @@
+package profile
+
+import "testing"
+
+// FuzzParseProfile checks the profile DSL parser never panics and that
+// accepted profiles are internally consistent (VORs validate, compiled
+// SR conditions build).
+func FuzzParseProfile(f *testing.F) {
+	seeds := []string{
+		`sr p1 priority 1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(car, "good condition")`,
+		`sr p2: if pc(a,b) then add pc(b,c) & c > 1`,
+		`sr p3: if ad(a,b) then replace ftcontains(b, "x") with ftcontains(b, "y")`,
+		`sr r: if pc(a,b) then relax pc(a,b)`,
+		`vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y`,
+		`vor w2 priority 1: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`,
+		"order colors: red > blue > green\nvor w: x.tag = c & y.tag = c & colors(x.a, y.a) => x < y",
+		`kor k weight 0.5: x.tag = abs & y.tag = abs & ftcontains(x, "data cube") => x < y`,
+		`rank V,K,S`,
+		`rank blend`,
+		`# just a comment`,
+		`sr broken`, `vor : =>`, `kor k: =>`, `order o:`, `sr s: if then add x`,
+		"vor w: x.tag = a & y.tag = a & x.v < y.v => x < y\nvor w: x.tag = a & y.tag = a & x.v > y.v => x < y",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseProfile(src)
+		if err != nil {
+			return
+		}
+		for _, v := range p.VORs {
+			if err := v.Validate(); err != nil {
+				t.Fatalf("accepted VOR invalid: %v\nsrc: %q", err, src)
+			}
+		}
+		for _, sr := range p.SRs {
+			if _, err := sr.CondQuery(); err != nil {
+				t.Fatalf("accepted SR condition does not compile: %v\nsrc: %q", err, src)
+			}
+			_ = sr.String()
+		}
+		for _, k := range p.KORs {
+			if len(k.Phrases) == 0 || k.Tag == "" {
+				t.Fatalf("accepted KOR malformed: %+v\nsrc: %q", k, src)
+			}
+		}
+	})
+}

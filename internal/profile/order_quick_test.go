@@ -1,0 +1,72 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomOrder builds a random DAG-backed partial order over a small
+// domain (edges only added when acyclic).
+func randomOrder(r *rand.Rand) *PartialOrder {
+	vals := []string{"a", "b", "c", "d", "e", "f"}
+	po := NewPartialOrder("q")
+	n := r.Intn(10)
+	for i := 0; i < n; i++ {
+		x := vals[r.Intn(len(vals))]
+		y := vals[r.Intn(len(vals))]
+		_ = po.Add(x, y) // cycle-creating adds are rejected; that's fine
+	}
+	return po
+}
+
+// TestQuickPartialOrderIsStrict: Prefers must be irreflexive,
+// antisymmetric and transitive on random orders — the Section 3.2
+// requirement ("prefRel ... is a strict partial order").
+func TestQuickPartialOrderIsStrict(t *testing.T) {
+	vals := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		po := randomOrder(r)
+		for _, x := range vals {
+			if po.Prefers(x, x) {
+				return false // irreflexive
+			}
+			for _, y := range vals {
+				if po.Prefers(x, y) && po.Prefers(y, x) {
+					return false // antisymmetric
+				}
+				for _, z := range vals {
+					if po.Prefers(x, y) && po.Prefers(y, z) && !po.Prefers(x, z) {
+						return false // transitive
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLevelsAreLinearExtension: Level respects every stated strict
+// preference (lower level = more preferred).
+func TestQuickLevelsAreLinearExtension(t *testing.T) {
+	vals := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		po := randomOrder(r)
+		for _, x := range vals {
+			for _, y := range vals {
+				if po.Prefers(x, y) && po.Level(x) >= po.Level(y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

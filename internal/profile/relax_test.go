@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tpq"
+)
+
+func TestRelaxRuleParsesAndApplies(t *testing.T) {
+	p := MustParseProfile(`sr r1: if pc(car, description) then relax pc(car, description)`)
+	if p.SRs[0].Kind != SRRelax {
+		t.Fatalf("kind = %v", p.SRs[0].Kind)
+	}
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+	out, ok := p.SRs[0].Apply(q)
+	if !ok {
+		t.Fatal("relax must apply")
+	}
+	d := out.Nodes[out.FindByTag("description")[0]]
+	if d.Axis != tpq.Descendant {
+		t.Fatalf("edge not relaxed: %+v", d)
+	}
+	// Original untouched.
+	if q.Nodes[q.FindByTag("description")[0]].Axis != tpq.Child {
+		t.Errorf("Apply mutated input")
+	}
+	// Relaxation broadens: the relaxed query contains the original.
+	if !tpq.Contains(out, q) {
+		t.Errorf("relaxed query must subsume the original:\n%s\n%s", out, q)
+	}
+	if tpq.Contains(q, out) {
+		t.Errorf("relaxation must be strict here")
+	}
+}
+
+func TestRelaxInapplicableOnAdEdge(t *testing.T) {
+	p := MustParseProfile(`sr r1: if ad(car, description) then relax pc(car, description)`)
+	// The query has //description below car: the condition (ad) holds but
+	// there is no pc-edge to relax.
+	q := tpq.MustParse(`//car[.//description]`)
+	if _, ok := p.SRs[0].Apply(q); ok {
+		t.Errorf("relax must fail with no pc-edge present")
+	}
+}
+
+func TestRelaxRejectsNonStructuralAtoms(t *testing.T) {
+	if _, err := ParseProfile(`sr r: if pc(a,b) then relax ftcontains(b, "x")`); err == nil {
+		t.Errorf("relax of an ftcontains atom must be rejected")
+	}
+	if _, err := ParseProfile(`sr r: if pc(a,b) then relax ad(a, b)`); err == nil {
+		t.Errorf("relax of an ad atom must be rejected")
+	}
+}
+
+func TestRelaxEncodeOptional(t *testing.T) {
+	p := MustParseProfile(`sr r1 priority 1: if pc(car, description) then relax pc(car, description)`)
+	q := tpq.MustParse(`//car[./description]`)
+	out, ok := p.SRs[0].EncodeOptional(q)
+	if !ok {
+		t.Fatal("encode must apply")
+	}
+	if !strings.Contains(out.String(), "//description") {
+		t.Errorf("encoded query keeps pc edge: %s", out)
+	}
+}
+
+func TestRelaxString(t *testing.T) {
+	p := MustParseProfile(`sr r1: if pc(car, description) then relax pc(car, description)`)
+	s := p.SRs[0].String()
+	if !strings.Contains(s, "relax") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,107 @@
+package text
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Thesaurus maps phrases to synonym phrases for query expansion.
+// Section 7.1 of the paper notes "We did not consider thesauri or
+// ontologies to expand the set of keywords included in the query";
+// this type makes that expansion available as an opt-in extension —
+// synonyms enter the query as optional, down-weighted predicates so
+// exact matches always rank at least as high.
+type Thesaurus struct {
+	syn map[string][]string
+}
+
+// NewThesaurus returns an empty thesaurus.
+func NewThesaurus() *Thesaurus {
+	return &Thesaurus{syn: make(map[string][]string)}
+}
+
+// Add registers synonyms for a phrase (one direction; call twice for a
+// symmetric pair). Phrases are matched case-insensitively.
+func (t *Thesaurus) Add(phrase string, synonyms ...string) {
+	key := normPhrase(phrase)
+	for _, s := range synonyms {
+		s = strings.Join(strings.Fields(s), " ")
+		if s == "" || normPhrase(s) == key {
+			continue
+		}
+		dup := false
+		for _, have := range t.syn[key] {
+			if normPhrase(have) == normPhrase(s) {
+				dup = true
+			}
+		}
+		if !dup {
+			t.syn[key] = append(t.syn[key], s)
+		}
+	}
+}
+
+// Synonyms returns the synonyms registered for phrase (nil if none).
+func (t *Thesaurus) Synonyms(phrase string) []string {
+	if t == nil {
+		return nil
+	}
+	return t.syn[normPhrase(phrase)]
+}
+
+// Len returns the number of phrases with synonyms.
+func (t *Thesaurus) Len() int { return len(t.syn) }
+
+// Phrases returns the registered source phrases, sorted.
+func (t *Thesaurus) Phrases() []string {
+	out := make([]string, 0, len(t.syn))
+	for p := range t.syn {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func normPhrase(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}
+
+// ParseThesaurus reads a small line-based format:
+//
+//	data mining = knowledge discovery, pattern mining
+//	car = automobile
+//
+// '#' starts a comment.
+func ParseThesaurus(src string) (*Thesaurus, error) {
+	t := NewThesaurus()
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("text: thesaurus line %d: want 'phrase = syn, syn'", lineNo+1)
+		}
+		phrase := strings.TrimSpace(line[:eq])
+		if phrase == "" {
+			return nil, fmt.Errorf("text: thesaurus line %d: empty phrase", lineNo+1)
+		}
+		var syns []string
+		for _, s := range strings.Split(line[eq+1:], ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				syns = append(syns, s)
+			}
+		}
+		if len(syns) == 0 {
+			return nil, fmt.Errorf("text: thesaurus line %d: no synonyms", lineNo+1)
+		}
+		t.Add(phrase, syns...)
+	}
+	return t, nil
+}

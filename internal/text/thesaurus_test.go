@@ -1,0 +1,61 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestThesaurusBasics(t *testing.T) {
+	th := NewThesaurus()
+	th.Add("data mining", "knowledge discovery", "pattern mining")
+	th.Add("Data Mining", "knowledge discovery") // duplicate, case-folded
+	got := th.Synonyms("DATA  MINING")           // whitespace + case normalized
+	want := []string{"knowledge discovery", "pattern mining"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Synonyms = %v", got)
+	}
+	if th.Len() != 1 {
+		t.Errorf("Len = %d", th.Len())
+	}
+	if got := th.Synonyms("unknown"); got != nil {
+		t.Errorf("unknown phrase: %v", got)
+	}
+	// Self-synonyms are dropped.
+	th.Add("car", "car", "automobile")
+	if got := th.Synonyms("car"); !reflect.DeepEqual(got, []string{"automobile"}) {
+		t.Errorf("self-synonym kept: %v", got)
+	}
+	var nilTh *Thesaurus
+	if nilTh.Synonyms("x") != nil {
+		t.Errorf("nil thesaurus must be silent")
+	}
+}
+
+func TestParseThesaurus(t *testing.T) {
+	th, err := ParseThesaurus(`
+# comment
+data mining = knowledge discovery, pattern mining
+car = automobile   # trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Len() != 2 {
+		t.Fatalf("Len = %d", th.Len())
+	}
+	if got := th.Phrases(); !reflect.DeepEqual(got, []string{"car", "data mining"}) {
+		t.Errorf("Phrases = %v", got)
+	}
+}
+
+func TestParseThesaurusErrors(t *testing.T) {
+	for _, bad := range []string{
+		`no equals sign`,
+		`= missing phrase`,
+		`phrase = `,
+	} {
+		if _, err := ParseThesaurus(bad); err == nil {
+			t.Errorf("ParseThesaurus(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package tpq
+
+import "testing"
+
+// FuzzParse checks that the query parser never panics, and that whatever
+// it accepts survives a String/re-parse round trip as an equivalent,
+// valid query. Run with `go test -fuzz FuzzParse ./internal/tpq` for a
+// real fuzzing session; the seed corpus runs under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`//car[./description[. ftcontains "good condition" and . ftcontains "low mileage"] and price < 2000]`,
+		`//article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]`,
+		`//person(*)[.//business[. ftcontains "Yes"]]`,
+		`/dealer/car[color = red]`,
+		`//a[x <> 5 and y >= 2 and . ftcontains "k"?]`,
+		`//a[./b? and c = 'q']`,
+		`//`, `//a[`, `//a]]`, `//a[x =]`, `//a[ftcontains(]`, `//a["`,
+		`//a[. ftcontains "unterminated]`,
+		"//\x00weird", "//a[x = 99999999999999999999999]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %v\nsrc: %q", err, src)
+		}
+		out := q.String()
+		q2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("String output unparseable: %v\nsrc: %q\nout: %q", err, src, out)
+		}
+		if !Equivalent(q, q2) {
+			t.Fatalf("round trip not equivalent\nsrc: %q\nout: %q", src, out)
+		}
+	})
+}

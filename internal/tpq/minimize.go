@@ -1,0 +1,45 @@
+package tpq
+
+// Minimize removes redundant pattern branches, in the spirit of tree
+// pattern minimization [2] (Amer-Yahia et al., SIGMOD 2001): a subtree is
+// redundant when deleting it yields an equivalent query, which we certify
+// with mutual containment. The distinguished node and its ancestors are
+// never candidates. Minimize mutates q and returns the number of subtrees
+// removed.
+//
+// The classic O(n^2) leaf-pruning loop suffices for the small patterns
+// user queries and rule conditions produce.
+func Minimize(q *Query) int {
+	removed := 0
+	for {
+		victim := -1
+		// Consider deepest-first so whole redundant branches go in few
+		// passes; skip the root, the distinguished node and its ancestors.
+		protected := map[int]bool{}
+		for _, a := range q.Ancestors(q.Dist) {
+			protected[a] = true
+		}
+		order := q.Descendants(0)
+		for i := len(order) - 1; i >= 1; i-- {
+			n := order[i]
+			if protected[n] {
+				continue
+			}
+			trial := q.Clone()
+			if err := trial.RemoveNode(n); err != nil {
+				continue
+			}
+			if Equivalent(q, trial) {
+				victim = n
+				break
+			}
+		}
+		if victim == -1 {
+			return removed
+		}
+		if err := q.RemoveNode(victim); err != nil {
+			return removed
+		}
+		removed++
+	}
+}

@@ -1,0 +1,106 @@
+package tpq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPropertyMinimizePreservesEquivalence: on random queries, the
+// minimized query must be equivalent to the original (mutual
+// containment) and structurally valid.
+func TestPropertyMinimizePreservesEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 300; iter++ {
+		q := randomQuery(r)
+		orig := q.Clone()
+		Minimize(q)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("iter %d: minimized query invalid: %v\norig: %s", iter, err, orig)
+		}
+		if !Equivalent(orig, q) {
+			t.Fatalf("iter %d: minimization changed semantics:\norig: %s\nmin:  %s",
+				iter, orig, q)
+		}
+	}
+}
+
+// TestPropertyMinimizeIdempotent: minimizing twice removes nothing more.
+func TestPropertyMinimizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for iter := 0; iter < 200; iter++ {
+		q := randomQuery(r)
+		Minimize(q)
+		if removed := Minimize(q); removed != 0 {
+			t.Fatalf("iter %d: second Minimize removed %d nodes: %s", iter, removed, q)
+		}
+	}
+}
+
+// TestPropertyMinimizeShrinksDuplicatedBranches: grafting a copy of an
+// existing predicate-free branch must always be undone by minimization.
+func TestPropertyMinimizeShrinksDuplicatedBranches(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 200; iter++ {
+		q := randomQuery(r)
+		Minimize(q) // start from a minimal query
+		base := len(q.Nodes)
+		// Duplicate a random non-root subtree as a sibling copy.
+		if base < 2 {
+			continue
+		}
+		victim := 1 + r.Intn(base-1)
+		parent := q.Nodes[victim].Parent
+		// Graft a copy only when the subtree carries no predicates
+		// (predicate-free duplicates are always redundant).
+		sub := q.Descendants(victim)
+		clean := true
+		for _, s := range sub {
+			if len(q.Nodes[s].Constraints) > 0 || len(q.Nodes[s].FT) > 0 {
+				clean = false
+			}
+		}
+		if !clean {
+			continue
+		}
+		copySubtree(q, victim, parent)
+		if removed := Minimize(q); len(q.Nodes) != base {
+			t.Fatalf("iter %d: duplicate branch not removed (removed=%d, %d vs %d): %s",
+				iter, removed, len(q.Nodes), base, q)
+		}
+	}
+}
+
+// copySubtree grafts a deep copy of subtree root under parent.
+func copySubtree(q *Query, root, parent int) int {
+	n := q.Nodes[root]
+	id := q.AddChild(parent, n.Tag, n.Axis)
+	q.Nodes[id].Constraints = append([]Constraint(nil), n.Constraints...)
+	q.Nodes[id].FT = append([]FTPred(nil), n.FT...)
+	for _, c := range n.Children {
+		copySubtree(q, c, id)
+	}
+	return id
+}
+
+func TestMinimizeOnParsedQueries(t *testing.T) {
+	cases := []struct {
+		src        string
+		expectGone bool
+	}{
+		{`//a[./b and ./b]`, true},
+		{`//a[.//b and ./b]`, true},       // ./b implies .//b
+		{`//a[./b and .//c]`, false},      // different tags
+		{`//a[./b[x > 1] and ./b]`, true}, // bare ./b implied by the stronger
+	}
+	for _, c := range cases {
+		q := MustParse(c.src)
+		before := len(q.Nodes)
+		Minimize(q)
+		if c.expectGone && len(q.Nodes) >= before {
+			t.Errorf("%s: expected shrink", c.src)
+		}
+		if !c.expectGone && len(q.Nodes) != before {
+			t.Errorf("%s: unexpected shrink to %s", c.src, q)
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package tpq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the query language into a TPQ. The language covers exactly
+// the paper's query class:
+//
+//	//car[./description[. ftcontains "good condition" and . ftcontains "low mileage"] and price < 2000]
+//	//article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]
+//	//person(*)[.//business[. ftcontains "Yes"]]
+//
+// Steps: '/' is a pc-edge, '//' an ad-edge; the first step's axis is
+// relative to the document root. Predicates inside [...] are conjunctions
+// ('and' or '&') of:
+//   - relative paths with an optional comparison:  price < 2000,
+//     ./price <= 2000, .//x/y = "s"  (a bare path is an existence test);
+//   - full-text predicates:  . ftcontains "phrase",
+//     path ftcontains "phrase", ftcontains(path, "phrase"),
+//     about(path, "phrase")  (NEXI spelling);
+//   - a trailing '?' marks the predicate optional (outer-join semantics).
+//
+// A step name may be the wildcard '*', matching any element tag.
+// The distinguished node is the last top-level step unless a step carries
+// the explicit marker '(*)'.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("tpq: parse %q: %w", src, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokSlash
+	tokDSlash
+	tokName
+	tokDot
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokComma
+	tokRelOp
+	tokNumber
+	tokString
+	tokAnd
+	tokQuestion
+	tokStar
+)
+
+type token struct {
+	kind tokKind
+	text string
+	op   RelOp
+	num  float64
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) error(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) lexAll() error {
+	for {
+		t, err := l.next()
+		if err != nil {
+			return err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return nil
+		}
+	}
+}
+
+func isNameStart(r byte) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r >= 0x80
+}
+
+func isNameRune(r byte) bool {
+	return isNameStart(r) || (r >= '0' && r <= '9') || r == '-'
+}
+
+func (l *lexer) next() (token, error) {
+	s := l.src
+	for l.pos < len(s) && unicode.IsSpace(rune(s[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(s) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := s[l.pos]
+	switch {
+	case c == '/':
+		l.pos++
+		if l.pos < len(s) && s[l.pos] == '/' {
+			l.pos++
+			return token{kind: tokDSlash, pos: start}, nil
+		}
+		return token{kind: tokSlash, pos: start}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, pos: start}, nil
+	case c == '(':
+		l.pos++
+		// '(*)' distinguished-node marker
+		if l.pos+1 < len(s) && s[l.pos] == '*' && s[l.pos+1] == ')' {
+			l.pos += 2
+			return token{kind: tokStar, pos: start}, nil
+		}
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '?':
+		l.pos++
+		return token{kind: tokQuestion, pos: start}, nil
+	case c == '&':
+		l.pos++
+		if l.pos < len(s) && s[l.pos] == '&' {
+			l.pos++
+		}
+		return token{kind: tokAnd, pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokName, text: "*", pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokRelOp, op: EQ, pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(s) && s[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokRelOp, op: NE, pos: start}, nil
+		}
+		return token{}, l.error("unexpected '!'")
+	case c == '<':
+		l.pos++
+		if l.pos < len(s) && s[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokRelOp, op: LE, pos: start}, nil
+		}
+		if l.pos < len(s) && s[l.pos] == '>' { // '<>' per the paper's figures
+			l.pos++
+			return token{kind: tokRelOp, op: NE, pos: start}, nil
+		}
+		return token{kind: tokRelOp, op: LT, pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(s) && s[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokRelOp, op: GE, pos: start}, nil
+		}
+		return token{kind: tokRelOp, op: GT, pos: start}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(s) && s[l.pos] != quote {
+			if s[l.pos] == '\\' && l.pos+1 < len(s) {
+				l.pos++
+			}
+			sb.WriteByte(s[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(s) {
+			return token{}, l.error("unterminated string")
+		}
+		l.pos++
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case c >= '0' && c <= '9':
+		j := l.pos
+		for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+			j++
+		}
+		f, err := strconv.ParseFloat(s[l.pos:j], 64)
+		if err != nil {
+			return token{}, l.error("bad number %q", s[l.pos:j])
+		}
+		l.pos = j
+		return token{kind: tokNumber, num: f, text: s[start:j], pos: start}, nil
+	case isNameStart(c):
+		j := l.pos
+		for j < len(s) && isNameRune(s[j]) {
+			j++
+		}
+		word := s[l.pos:j]
+		l.pos = j
+		if word == "and" {
+			return token{kind: tokAnd, pos: start}, nil
+		}
+		return token{kind: tokName, text: word, pos: start}, nil
+	}
+	return token{}, l.error("unexpected character %q", string(c))
+}
+
+type parser struct {
+	lex  *lexer
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token       { return p.toks[p.i] }
+func (p *parser) take() token       { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokKind) bool { return p.toks[p.i].kind == k }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if !p.at(k) {
+		t := p.peek()
+		return t, fmt.Errorf("at offset %d: expected %s", t.pos, what)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.lex.lexAll(); err != nil {
+		return nil, err
+	}
+	p.toks = p.lex.toks
+
+	var q *Query
+	cur := -1
+	explicitDist := -1
+	for p.at(tokSlash) || p.at(tokDSlash) {
+		axis := Child
+		if p.take().kind == tokDSlash {
+			axis = Descendant
+		}
+		name, err := p.expect(tokName, "element name")
+		if err != nil {
+			return nil, err
+		}
+		if q == nil {
+			q = NewQuery(name.text, axis)
+			cur = 0
+		} else {
+			cur = q.AddChild(cur, name.text, axis)
+		}
+		if p.at(tokStar) {
+			p.take()
+			explicitDist = cur
+		}
+		for p.at(tokLBracket) {
+			if err := p.parsePredicate(q, cur); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if q == nil {
+		return nil, fmt.Errorf("empty query: expected '/' or '//'")
+	}
+	if !p.at(tokEOF) {
+		return nil, fmt.Errorf("at offset %d: trailing input", p.peek().pos)
+	}
+	if explicitDist >= 0 {
+		q.Dist = explicitDist
+	} else {
+		q.Dist = cur
+	}
+	return q, nil
+}
+
+// parsePredicate parses one [...] block attached to pattern node ctx.
+func (p *parser) parsePredicate(q *Query, ctx int) error {
+	if _, err := p.expect(tokLBracket, "'['"); err != nil {
+		return err
+	}
+	for {
+		if err := p.parseAtom(q, ctx); err != nil {
+			return err
+		}
+		if p.at(tokAnd) {
+			p.take()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(tokRBracket, "']'")
+	return err
+}
+
+// parseAtom parses one conjunct: a path atom, a comparison, or a full-text
+// predicate (infix or function form).
+func (p *parser) parseAtom(q *Query, ctx int) error {
+	// Function forms: ftcontains(path, "phrase") / about(path, "phrase").
+	if p.at(tokName) && (p.peek().text == "ftcontains" || p.peek().text == "about") &&
+		p.toks[p.i+1].kind == tokLParen {
+		p.take()
+		p.take() // '('
+		node, err := p.parsePath(q, ctx, true)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return err
+		}
+		str, err := p.expect(tokString, "quoted phrase")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return err
+		}
+		if strings.TrimSpace(str.text) == "" {
+			return fmt.Errorf("at offset %d: empty full-text phrase", str.pos)
+		}
+		opt := p.optionalMark()
+		q.Nodes[node].FT = append(q.Nodes[node].FT, FTPred{Phrase: str.text, Optional: opt, Weight: optWeight(opt)})
+		return nil
+	}
+
+	node, err := p.parsePath(q, ctx, false)
+	if err != nil {
+		return err
+	}
+	switch {
+	case p.at(tokRelOp):
+		op := p.take().op
+		val, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		opt := p.optionalMark()
+		q.Nodes[node].Constraints = append(q.Nodes[node].Constraints,
+			Constraint{Op: op, Val: val, Optional: opt, Weight: optWeight(opt)})
+	case p.at(tokName) && p.peek().text == "ftcontains":
+		p.take()
+		str, err := p.expect(tokString, "quoted phrase")
+		if err != nil {
+			return err
+		}
+		if strings.TrimSpace(str.text) == "" {
+			return fmt.Errorf("at offset %d: empty full-text phrase", str.pos)
+		}
+		opt := p.optionalMark()
+		q.Nodes[node].FT = append(q.Nodes[node].FT, FTPred{Phrase: str.text, Optional: opt, Weight: optWeight(opt)})
+	default:
+		// Bare path: existence predicate. Optional '?' marks the whole
+		// added branch as outer-joined.
+		if p.at(tokQuestion) {
+			p.take()
+			if node != ctx {
+				markOptionalUpTo(q, node, ctx)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) optionalMark() bool {
+	if p.at(tokQuestion) {
+		p.take()
+		return true
+	}
+	return false
+}
+
+// optWeight is the default score weight of an optional predicate.
+func optWeight(optional bool) float64 {
+	if optional {
+		return 1
+	}
+	return 0
+}
+
+// markOptionalUpTo marks node and its ancestors up to (excluding) ctx
+// as optional branches.
+func markOptionalUpTo(q *Query, node, ctx int) {
+	for n := node; n != ctx && n != -1; n = q.Nodes[n].Parent {
+		q.Nodes[n].Optional = true
+		if q.Nodes[n].Weight == 0 {
+			q.Nodes[n].Weight = 1
+		}
+	}
+}
+
+// parsePath parses a relative path inside a predicate and returns the
+// pattern node it denotes, creating nodes along the way. inFunc reports
+// whether the path is a function argument (then a bare '.' is common).
+func (p *parser) parsePath(q *Query, ctx int, inFunc bool) (int, error) {
+	cur := ctx
+	switch {
+	case p.at(tokDot):
+		p.take()
+	case p.at(tokName):
+		// Leading bare name == ./name
+		name := p.take()
+		cur = q.AddChild(cur, name.text, Child)
+		for p.at(tokLBracket) {
+			if err := p.parsePredicate(q, cur); err != nil {
+				return 0, err
+			}
+		}
+	case p.at(tokSlash) || p.at(tokDSlash):
+		// fallthrough to the step loop below
+	default:
+		t := p.peek()
+		return 0, fmt.Errorf("at offset %d: expected path", t.pos)
+	}
+	for p.at(tokSlash) || p.at(tokDSlash) {
+		axis := Child
+		if p.take().kind == tokDSlash {
+			axis = Descendant
+		}
+		name, err := p.expect(tokName, "element name")
+		if err != nil {
+			return 0, err
+		}
+		cur = q.AddChild(cur, name.text, axis)
+		for p.at(tokLBracket) {
+			if err := p.parsePredicate(q, cur); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return cur, nil
+}
+
+func (p *parser) parseLiteral() (Value, error) {
+	switch {
+	case p.at(tokNumber):
+		return NumValue(p.take().num), nil
+	case p.at(tokString):
+		return StrValue(p.take().text), nil
+	case p.at(tokName): // unquoted word literal, e.g. color = red
+		return StrValue(p.take().text), nil
+	}
+	t := p.peek()
+	return Value{}, fmt.Errorf("at offset %d: expected literal", t.pos)
+}

@@ -1,0 +1,54 @@
+package tpq
+
+import "testing"
+
+func TestParseWildcardSteps(t *testing.T) {
+	q := MustParse(`//article//*[. ftcontains "data mining"]`)
+	if q.Nodes[q.Dist].Tag != "*" {
+		t.Fatalf("dist tag = %q", q.Nodes[q.Dist].Tag)
+	}
+	q2 := MustParse(`//a/*/c`)
+	mid := q2.FindByTag("*")
+	if len(mid) != 1 || q2.Nodes[mid[0]].Axis != Child {
+		t.Fatalf("wildcard mid-step: %+v", q2.Nodes)
+	}
+	// Wildcards in predicate paths.
+	q3 := MustParse(`//a[./*[x > 1]]`)
+	if len(q3.FindByTag("*")) != 1 {
+		t.Fatalf("wildcard in predicate: %s", q3)
+	}
+	// Round trip.
+	for _, q := range []*Query{q, q2, q3} {
+		q4, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q.String(), err)
+		}
+		if !Equivalent(q, q4) {
+			t.Errorf("wildcard round trip: %s", q)
+		}
+	}
+}
+
+func TestWildcardMarkerDistinct(t *testing.T) {
+	// '(*)' stays the distinguished marker; '*' is a step name.
+	q := MustParse(`//a(*)//*`)
+	_ = q
+}
+
+func TestWildcardContainment(t *testing.T) {
+	// //a[./*] is implied by //a[./b]: a wildcard condition maps anywhere.
+	if !SubsumedBy(MustParse(`//a[./*]`), MustParse(`//a[./b]`)) {
+		t.Errorf("wildcard condition should be subsumed by concrete child")
+	}
+	// The converse cannot hold: //a[./*] guarantees no particular tag.
+	if SubsumedBy(MustParse(`//a[./b]`), MustParse(`//a[./*]`)) {
+		t.Errorf("concrete condition must not be subsumed by a wildcard")
+	}
+	// Containment: //a//* contains //a//b (anchored on dist).
+	if !Contains(MustParse(`//a//*`), MustParse(`//a//b`)) {
+		t.Errorf("//a//* must contain //a//b")
+	}
+	if Contains(MustParse(`//a//b`), MustParse(`//a//*`)) {
+		t.Errorf("//a//b must not contain //a//*")
+	}
+}

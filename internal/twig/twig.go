@@ -1,0 +1,308 @@
+// Package twig implements a holistic structural-semijoin filter for tree
+// pattern skeletons, in the family of stack-based twig join algorithms
+// (Bruno et al.'s TwigStack lineage; the paper's related algorithms are
+// the structural joins its plans are built from — Section 6.4 uses
+// indexed nested loops, and this package provides the set-at-a-time
+// alternative used as an ablation access path).
+//
+// Given a query, Candidates computes for every required pattern node the
+// exact set of elements that participate in at least one embedding of the
+// required structural skeleton (tags + axes; predicates other than
+// structure are left to downstream operators, preserving the paper's
+// per-predicate semijoin semantics). The computation is two linear
+// semijoin sweeps over the sorted tag lists — one bottom-up, one
+// top-down — which is complete for tree-shaped patterns.
+package twig
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// Candidates returns, per pattern node index, the sorted element IDs
+// participating in some embedding of q's required structural skeleton.
+// Optional branches are skipped (their slots hold nil).
+func Candidates(ix *index.Index, q *tpq.Query) [][]xmldoc.NodeID {
+	doc := ix.Document()
+	n := len(q.Nodes)
+	cand := make([][]xmldoc.NodeID, n)
+	skip := make([]bool, n)
+	for i := range q.Nodes {
+		skip[i] = optionalBranch(q, i)
+		if skip[i] {
+			continue
+		}
+		// Tag lists are already sorted in document order.
+		cand[i] = append([]xmldoc.NodeID(nil), ix.Elements(q.Nodes[i].Tag)...)
+	}
+	// Root axis: an absolute pattern root must be the document root.
+	if q.Nodes[0].Axis == tpq.Child {
+		root := doc.Root()
+		keep := cand[0][:0]
+		for _, e := range cand[0] {
+			if e == root {
+				keep = append(keep, e)
+			}
+		}
+		cand[0] = keep
+	}
+
+	// Bottom-up: postorder — a node survives if every required child
+	// subtree can embed below it.
+	post := postorder(q)
+	for _, p := range post {
+		if skip[p] {
+			continue
+		}
+		for _, c := range q.Nodes[p].Children {
+			if skip[c] {
+				continue
+			}
+			if q.Nodes[c].Axis == tpq.Child {
+				cand[p] = keepWithChildIn(doc, cand[p], cand[c])
+			} else {
+				cand[p] = keepWithDescendantIn(doc, cand[p], cand[c])
+			}
+		}
+	}
+	// Top-down: preorder — a node survives if some surviving parent
+	// binding sits above it.
+	pre := q.Descendants(0)
+	for _, c := range pre {
+		if c == 0 || skip[c] {
+			continue
+		}
+		p := q.Nodes[c].Parent
+		if q.Nodes[c].Axis == tpq.Child {
+			cand[c] = keepWithParentIn(doc, cand[c], cand[p])
+		} else {
+			cand[c] = keepWithAncestorIn(doc, cand[c], cand[p])
+		}
+	}
+	return cand
+}
+
+// Distinguished returns the distinguished-node candidates under the
+// engine's per-predicate semijoin semantics (each structural obligation
+// is enforced independently, as in the paper's plans): the query is
+// decomposed into one "Y-pattern" per required leaf — the root→dist
+// chain plus the root→leaf chain sharing their prefix — and the
+// per-pattern candidate lists are intersected. Within a Y-pattern the
+// conjunctive two-sweep coincides with the matcher's navigation, so the
+// result equals scan + MatchRequired exactly.
+//
+// (Candidates, by contrast, is fully conjunctive: an interior node with
+// several children must have one element satisfying all of them — a
+// stronger semantics, exposed for callers that want classical twig
+// matching.)
+func Distinguished(ix *index.Index, q *tpq.Query) []xmldoc.NodeID {
+	leaves := requiredLeaves(q)
+	var result []xmldoc.NodeID
+	first := true
+	for _, leaf := range leaves {
+		y, yDist := yPattern(q, leaf)
+		cands := Candidates(ix, y)[yDist]
+		if first {
+			result = cands
+			first = false
+		} else {
+			result = intersectSorted(result, cands)
+		}
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	if first { // defensive: dist itself is always a required leaf holder
+		return Candidates(ix, q)[q.Dist]
+	}
+	return result
+}
+
+// requiredLeaves returns the required pattern nodes with no required
+// children (the distinguished node's own chain is covered by whichever
+// leaf lies at or below it; if dist has no required descendants it is a
+// leaf itself).
+func requiredLeaves(q *tpq.Query) []int {
+	var out []int
+	for i := range q.Nodes {
+		if optionalBranch(q, i) {
+			continue
+		}
+		hasReqChild := false
+		for _, c := range q.Nodes[i].Children {
+			if !optionalBranch(q, c) {
+				hasReqChild = true
+				break
+			}
+		}
+		if !hasReqChild {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// yPattern builds the sub-pattern consisting of the root→dist and
+// root→leaf chains of q (sharing their common prefix) and returns it
+// with the new index of the distinguished node.
+func yPattern(q *tpq.Query, leaf int) (*tpq.Query, int) {
+	distAnc := q.Ancestors(q.Dist)
+	leafAnc := q.Ancestors(leaf)
+	include := map[int]bool{}
+	for _, n := range distAnc {
+		include[n] = true
+	}
+	for _, n := range leafAnc {
+		include[n] = true
+	}
+	// Rebuild in preorder so parents precede children.
+	remap := map[int]int{}
+	var y *tpq.Query
+	for _, n := range q.Descendants(0) {
+		if !include[n] {
+			continue
+		}
+		src := q.Nodes[n]
+		if y == nil {
+			y = tpq.NewQuery(src.Tag, src.Axis)
+			remap[n] = 0
+			continue
+		}
+		remap[n] = y.AddChild(remap[src.Parent], src.Tag, src.Axis)
+	}
+	y.Dist = remap[q.Dist]
+	return y, y.Dist
+}
+
+// intersectSorted intersects two ascending NodeID lists.
+func intersectSorted(a, b []xmldoc.NodeID) []xmldoc.NodeID {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// optionalBranch reports whether pattern node i lies on an optional
+// branch (which never filters).
+func optionalBranch(q *tpq.Query, i int) bool {
+	for n := i; n != -1; n = q.Nodes[n].Parent {
+		if q.Nodes[n].Optional {
+			return true
+		}
+	}
+	return false
+}
+
+func postorder(q *tpq.Query) []int {
+	var out []int
+	var rec func(i int)
+	rec = func(i int) {
+		for _, c := range q.Nodes[i].Children {
+			rec(c)
+		}
+		out = append(out, i)
+	}
+	rec(0)
+	return out
+}
+
+// keepWithDescendantIn keeps parents having at least one proper
+// descendant in ds. Both lists are sorted by Start; for each parent a
+// binary search finds the first potential descendant.
+func keepWithDescendantIn(doc *xmldoc.Document, ps, ds []xmldoc.NodeID) []xmldoc.NodeID {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := ps[:0]
+	for _, p := range ps {
+		node := doc.Node(p)
+		i := sort.Search(len(ds), func(i int) bool { return ds[i] > p })
+		if i < len(ds) && doc.Node(ds[i]).Start <= node.End {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// keepWithChildIn keeps parents having a direct child in cs. It marks
+// the parents of cs (sorted, deduplicated) and intersects.
+func keepWithChildIn(doc *xmldoc.Document, ps, cs []xmldoc.NodeID) []xmldoc.NodeID {
+	if len(cs) == 0 {
+		return nil
+	}
+	parents := make([]xmldoc.NodeID, 0, len(cs))
+	for _, c := range cs {
+		parents = append(parents, doc.Parent(c))
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	out := ps[:0]
+	for _, p := range ps {
+		i := sort.Search(len(parents), func(i int) bool { return parents[i] >= p })
+		if i < len(parents) && parents[i] == p {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// keepWithParentIn keeps children whose parent is in ps (sorted).
+func keepWithParentIn(doc *xmldoc.Document, cs, ps []xmldoc.NodeID) []xmldoc.NodeID {
+	out := cs[:0]
+	for _, c := range cs {
+		p := doc.Parent(c)
+		if p == xmldoc.InvalidNode {
+			continue
+		}
+		i := sort.Search(len(ps), func(i int) bool { return ps[i] >= p })
+		if i < len(ps) && ps[i] == p {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// keepWithAncestorIn keeps descendants having a proper ancestor in as,
+// via a single merge with a stack of active ancestor intervals.
+func keepWithAncestorIn(doc *xmldoc.Document, ds, as []xmldoc.NodeID) []xmldoc.NodeID {
+	if len(as) == 0 {
+		return nil
+	}
+	out := ds[:0]
+	var stack []int32 // End positions of active ancestors
+	ai := 0
+	for _, d := range ds {
+		dn := doc.Node(d)
+		// Push ancestors starting before d.
+		for ai < len(as) && as[ai] < d {
+			an := doc.Node(as[ai])
+			// Pop finished intervals first.
+			for len(stack) > 0 && stack[len(stack)-1] < an.Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, an.End)
+			ai++
+		}
+		// Pop ancestors that end before d starts.
+		for len(stack) > 0 && stack[len(stack)-1] < dn.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package twig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/index"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+func buildDoc(t testing.TB, src string) *index.Index {
+	t.Helper()
+	doc, err := xmldoc.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return index.Build(doc, text.Pipeline{})
+}
+
+func TestDistinguishedBasic(t *testing.T) {
+	ix := buildDoc(t, `
+<site>
+  <people>
+    <person><profile><business>Yes</business></profile></person>
+    <person><name>no profile</name></person>
+    <person><profile><gender>male</gender></profile></person>
+  </people>
+</site>`)
+	q := tpq.MustParse(`//person(*)[.//business]`)
+	got := Distinguished(ix, q)
+	if len(got) != 1 {
+		t.Fatalf("candidates = %v", got)
+	}
+	if ix.Document().Tag(got[0]) != "person" {
+		t.Errorf("wrong tag")
+	}
+}
+
+func TestPCvsAD(t *testing.T) {
+	ix := buildDoc(t, `<a><b><c/></b><c/></a>`)
+	// pc: only the direct c child of a.
+	pc := Distinguished(ix, tpq.MustParse(`//a/c`))
+	if len(pc) != 1 {
+		t.Fatalf("pc candidates = %v", pc)
+	}
+	// ad: both c elements.
+	ad := Distinguished(ix, tpq.MustParse(`//a//c`))
+	if len(ad) != 2 {
+		t.Fatalf("ad candidates = %v", ad)
+	}
+}
+
+func TestAbsoluteRoot(t *testing.T) {
+	ix := buildDoc(t, `<a><a><b/></a></a>`)
+	abs := Distinguished(ix, tpq.MustParse(`/a/a`))
+	if len(abs) != 1 {
+		t.Fatalf("abs = %v", abs)
+	}
+	rel := Candidates(ix, tpq.MustParse(`//a`))
+	if len(rel[0]) != 2 {
+		t.Fatalf("rel = %v", rel[0])
+	}
+}
+
+func TestOptionalBranchesIgnored(t *testing.T) {
+	ix := buildDoc(t, `<a><b/></a>`)
+	q := tpq.MustParse(`//a[./b and ./missing?]`)
+	got := Distinguished(ix, q)
+	if len(got) != 1 {
+		t.Fatalf("optional branch must not filter: %v", got)
+	}
+}
+
+func TestWildcardCandidates(t *testing.T) {
+	ix := buildDoc(t, `<a><b><c/></b><d/></a>`)
+	got := Distinguished(ix, tpq.MustParse(`//a//*`))
+	if len(got) != 3 { // b, c, d (a is the required ancestor)
+		t.Fatalf("wildcard candidates = %v", got)
+	}
+	got = Distinguished(ix, tpq.MustParse(`//a/*[./c]`))
+	if len(got) != 1 || ix.Document().Tag(got[0]) != "b" {
+		t.Fatalf("constrained wildcard = %v", got)
+	}
+}
+
+func TestEmptyWhenTagMissing(t *testing.T) {
+	ix := buildDoc(t, `<a><b/></a>`)
+	if got := Distinguished(ix, tpq.MustParse(`//a[./zzz]`)); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Distinguished(ix, tpq.MustParse(`//zzz`)); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// randomStructuralQuery builds a predicate-free pattern over small tags
+// (including the wildcard).
+func randomStructuralQuery(r *rand.Rand) *tpq.Query {
+	tags := []string{"a", "b", "c", "d", "*"}
+	axis := func() tpq.Axis {
+		if r.Intn(2) == 0 {
+			return tpq.Child
+		}
+		return tpq.Descendant
+	}
+	q := tpq.NewQuery(tags[r.Intn(len(tags))], tpq.Descendant)
+	n := r.Intn(4)
+	for i := 0; i < n; i++ {
+		parent := r.Intn(len(q.Nodes))
+		q.AddChild(parent, tags[r.Intn(len(tags))], axis())
+	}
+	q.Dist = r.Intn(len(q.Nodes))
+	return q
+}
+
+func randomDoc(r *rand.Rand) *index.Index {
+	tags := []string{"a", "b", "c", "d"}
+	b := xmldoc.NewBuilder()
+	var build func(depth, budget int) int
+	build = func(depth, budget int) int {
+		used := 1
+		b.Start(tags[r.Intn(len(tags))])
+		for used < budget && depth < 5 && r.Intn(3) != 0 {
+			used += build(depth+1, budget-used)
+		}
+		b.End()
+		return used
+	}
+	build(0, 2+r.Intn(50))
+	return index.Build(b.MustDocument(), text.Pipeline{})
+}
+
+// TestPropertyAgreesWithMatcher: the twig filter must accept exactly the
+// elements the per-candidate matcher accepts, over random documents and
+// structural patterns.
+func TestPropertyAgreesWithMatcher(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for iter := 0; iter < 800; iter++ {
+		ix := randomDoc(r)
+		q := randomStructuralQuery(r)
+		m := algebra.NewMatcher(ix, q)
+		want := map[xmldoc.NodeID]bool{}
+		for _, e := range ix.Elements(q.Nodes[q.Dist].Tag) {
+			if m.MatchRequired(e) {
+				want[e] = true
+			}
+		}
+		got := Distinguished(ix, q)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: twig %d vs matcher %d\nq: %s\ndoc: %s\ntwig: %v",
+				iter, len(got), len(want), q, ix.Document().XMLString(), got)
+		}
+		for _, e := range got {
+			if !want[e] {
+				t.Fatalf("iter %d: twig accepted %d, matcher rejects\nq: %s\ndoc: %s",
+					iter, e, q, ix.Document().XMLString())
+			}
+		}
+		// Sorted output.
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("iter %d: candidates not sorted: %v", iter, got)
+			}
+		}
+	}
+}
+
+func BenchmarkTwigVsMatcher(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	tags := []string{"a", "b", "c", "d"}
+	bl := xmldoc.NewBuilder()
+	var build func(depth, budget int) int
+	build = func(depth, budget int) int {
+		used := 1
+		bl.Start(tags[r.Intn(len(tags))])
+		for used < budget && depth < 8 && r.Intn(3) != 0 {
+			used += build(depth+1, budget-used)
+		}
+		bl.End()
+		return used
+	}
+	bl.Start("root")
+	for used := 0; used < 20000; {
+		used += build(1, 20000-used)
+	}
+	bl.End()
+	ix := index.Build(bl.MustDocument(), text.Pipeline{})
+	q := tpq.MustParse(`//a[./b and .//c]//d`)
+
+	b.Run("twig", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Distinguished(ix, q)
+		}
+	})
+	b.Run("matcher", func(b *testing.B) {
+		b.ReportAllocs()
+		m := algebra.NewMatcher(ix, q)
+		for i := 0; i < b.N; i++ {
+			for _, e := range ix.Elements("d") {
+				m.MatchRequired(e)
+			}
+		}
+	})
+}

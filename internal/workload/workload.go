@@ -1,0 +1,152 @@
+// Package workload holds the shared query/profile fixtures of the
+// paper's running example (Figs. 1, 2) and performance study (Fig. 5),
+// used by the examples, the experiment harness and the benchmarks.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/tpq"
+)
+
+// PaperQuery is the introduction's query Q: cars in good condition with
+// low mileage costing less than $2000.
+func PaperQuery() *tpq.Query {
+	return tpq.MustParse(`//car[./description[. ftcontains "good condition" and . ftcontains "low mileage"] and price < 2000]`)
+}
+
+// Fig2ProfileSrc is the running example's profile (Fig. 2) in the DSL,
+// with the priorities Section 5 assigns to resolve the p1/p3 conflict
+// cycle and the ω1/ω2 ambiguity (priority 1 to ω2, 2 to ω1).
+const Fig2ProfileSrc = `
+sr p1 priority 1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(car, "good condition")
+sr p2 priority 2: if pc(car, description) & ftcontains(description, "good condition") then add ftcontains(description, "american")
+sr p3 priority 3: if pc(car, description) & ftcontains(description, "good condition") then remove ftcontains(description, "low mileage")
+vor w1 priority 2: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2 priority 1: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+vor w3 priority 3: x.tag = car & y.tag = car & x.make = y.make & x.hp > y.hp => x < y
+kor w4: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+kor w5: x.tag = car & y.tag = car & ftcontains(x, "NYC") => x < y
+rank K,V,S
+`
+
+// Fig2Profile parses Fig2ProfileSrc.
+func Fig2Profile() *profile.Profile {
+	return profile.MustParseProfile(Fig2ProfileSrc)
+}
+
+// Plan1ProfileSrc is the Section 6.2 exposition subset: rules p2 and p3
+// with the ordering rules ω1, ω4, ω5 of Plan 1.
+const Plan1ProfileSrc = `
+sr p2 priority 1: if pc(car, description) & ftcontains(description, "good condition") then add ftcontains(description, "american")
+sr p3 priority 2: if pc(car, description) & ftcontains(description, "good condition") then remove ftcontains(description, "low mileage")
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+kor w4: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+kor w5: x.tag = car & y.tag = car & ftcontains(x, "NYC") => x < y
+rank K,V,S
+`
+
+// Plan1Profile parses Plan1ProfileSrc.
+func Plan1Profile() *profile.Profile {
+	return profile.MustParseProfile(Plan1ProfileSrc)
+}
+
+// Fig1XML is the car-sale database of Fig. 1.
+const Fig1XML = `
+<dealer>
+  <car>
+    <description>I am selling my 2001 car at the best bid. It is in good condition
+      as I was the only driver. I used it to go to work in NYC.</description>
+    <date>2001</date>
+    <price>500</price>
+    <horsepower>150</horsepower>
+    <owner>John Smith</owner>
+    <color>red</color>
+  </car>
+  <car>
+    <description>Powerful car. Low mileage. Bought on 11/2005. Eager seller.
+      goodcar@yahoo.com. Also in good condition.</description>
+    <horsepower>200</horsepower>
+    <mileage>50000</mileage>
+    <price>500</price>
+    <location>NYC</location>
+    <color>blue</color>
+  </car>
+  <car>
+    <description>american classic in good condition and low mileage</description>
+    <price>1800</price>
+    <mileage>30000</mileage>
+    <color>green</color>
+    <horsepower>180</horsepower>
+  </car>
+</dealer>`
+
+// Fig5Query is the XMark query of Fig. 5:
+// ad(person, business) & ftcontains(business, "Yes").
+func Fig5Query() *tpq.Query {
+	return tpq.MustParse(`//person(*)[.//business[. ftcontains "Yes"]]`)
+}
+
+// fig5KORPhrases are the keyword-based ORs π1–π4 of Fig. 5, in the
+// paper's order.
+var fig5KORPhrases = []string{"male", "United States", "College", "Phoenix"}
+
+// ExtraQuery is one of the additional XMark workloads of Section 7.2
+// ("We tried these four plans on two other queries and observed that
+// PushtopKPrune never does worse than Naive").
+type ExtraQuery struct {
+	Name    string
+	Query   *tpq.Query
+	Profile *profile.Profile
+}
+
+// ExtraQueries returns the two additional plan-comparison workloads: a
+// person query over address structure, and an item query with its own
+// keyword ordering rules over the item descriptions.
+func ExtraQueries() []ExtraQuery {
+	return []ExtraQuery{
+		{
+			Name:  "Q2-person-address",
+			Query: tpq.MustParse(`//person(*)[./address[./country[. ftcontains "United States"]]]`),
+			Profile: profile.MustParseProfile(`
+kor q2k1 priority 1: x.tag = person & y.tag = person & ftcontains(x, "male") => x < y
+kor q2k2 priority 2: x.tag = person & y.tag = person & ftcontains(x, "College") => x < y
+kor q2k3 priority 3: x.tag = person & y.tag = person & ftcontains(x, "Phoenix") => x < y
+kor q2k4 priority 4: x.tag = person & y.tag = person & ftcontains(x, "Yes") => x < y
+rank K,V,S
+`),
+		},
+		{
+			Name:  "Q3-items",
+			Query: tpq.MustParse(`//item(*)[.//text[. ftcontains "honour"]]`),
+			Profile: profile.MustParseProfile(`
+vor q3v: x.tag = item & y.tag = item & x.quantity > y.quantity => x < y
+kor q3k1 priority 1: x.tag = item & y.tag = item & ftcontains(x, "fortune") => x < y
+kor q3k2 priority 2: x.tag = item & y.tag = item & ftcontains(x, "sword") => x < y
+kor q3k3 priority 3: x.tag = item & y.tag = item & ftcontains(x, "crown") => x < y
+kor q3k4 priority 4: x.tag = item & y.tag = item & ftcontains(x, "castle") => x < y
+rank K,V,S
+`),
+		},
+	}
+}
+
+// Fig5Profile builds the Fig. 5 profile with the first nKORs keyword
+// rules (1..4, as swept by Figs. 6 and 7) plus the value-based rule π5
+// (x.age = 33 & y.age != 33 => x < y).
+func Fig5Profile(nKORs int) *profile.Profile {
+	if nKORs < 0 || nKORs > len(fig5KORPhrases) {
+		panic(fmt.Sprintf("workload: nKORs must be 0..%d, got %d", len(fig5KORPhrases), nKORs))
+	}
+	var sb strings.Builder
+	for i := 0; i < nKORs; i++ {
+		fmt.Fprintf(&sb,
+			"kor pi%d priority %d: x.tag = person & y.tag = person & ftcontains(x, %q) => x < y\n",
+			i+1, i+1, fig5KORPhrases[i])
+	}
+	sb.WriteString(`vor pi5: x.tag = person & y.tag = person & x.age = 33 & y.age != 33 => x < y` + "\n")
+	sb.WriteString("rank K,V,S\n")
+	return profile.MustParseProfile(sb.String())
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/tpq"
+)
+
+func TestPaperQueryShape(t *testing.T) {
+	q := PaperQuery()
+	if q.Nodes[q.Dist].Tag != "car" {
+		t.Fatalf("dist = %q", q.Nodes[q.Dist].Tag)
+	}
+	if got := q.Phrases(); len(got) != 2 {
+		t.Errorf("phrases = %v", got)
+	}
+}
+
+func TestFig2ProfileWellFormed(t *testing.T) {
+	p := Fig2Profile()
+	if len(p.SRs) != 3 || len(p.VORs) != 3 || len(p.KORs) != 2 {
+		t.Fatalf("counts: %d/%d/%d", len(p.SRs), len(p.VORs), len(p.KORs))
+	}
+	// The assigned priorities must make the profile enforceable.
+	if rep := analysis.DetectAmbiguityPrioritized(p.VORs); rep.Ambiguous {
+		t.Errorf("Fig. 2 profile with priorities must be unambiguous: %v", rep.Cycle)
+	}
+	if _, err := analysis.AnalyzeSRs(p.SRs, PaperQuery()); err != nil {
+		t.Errorf("prioritized SRs must not error: %v", err)
+	}
+}
+
+func TestPlan1ProfileAppliesBothRules(t *testing.T) {
+	p := Plan1Profile()
+	_, applied, err := analysis.EncodeFlock(p.SRs, PaperQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 {
+		t.Errorf("applied = %v, want p2 and p3", applied)
+	}
+}
+
+func TestFig5ProfileSweep(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		p := Fig5Profile(n)
+		if len(p.KORs) != n {
+			t.Errorf("nKORs=%d: got %d KORs", n, len(p.KORs))
+		}
+		if len(p.VORs) != 1 {
+			t.Errorf("π5 missing")
+		}
+	}
+	// KOR priorities fix the paper's application order π1..πn.
+	p := Fig5Profile(4)
+	kors := p.SortKORsByPriority()
+	want := []string{"male", "United States", "College", "Phoenix"}
+	for i, k := range kors {
+		if k.Phrases[0] != want[i] {
+			t.Errorf("kor %d = %q, want %q", i, k.Phrases[0], want[i])
+		}
+	}
+}
+
+func TestFig5ProfilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Fig5Profile(5) must panic")
+		}
+	}()
+	Fig5Profile(5)
+}
+
+func TestFig1XMLParses(t *testing.T) {
+	// Ensure the fixture stays parseable and the query matches it.
+	q := PaperQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpq.Parse(Fig5Query().String()); err != nil {
+		t.Fatalf("Fig5 round trip: %v", err)
+	}
+}

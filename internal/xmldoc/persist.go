@@ -1,0 +1,101 @@
+package xmldoc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// persistedDocument is the on-disk form of a Document.
+type persistedDocument struct {
+	Version int
+	Nodes   []Node
+	TextLen int
+}
+
+// persistVersion guards the snapshot format.
+const persistVersion = 1
+
+// Save writes the document in a binary snapshot format (gob). The
+// snapshot restores byte-for-byte identical documents with Load.
+func (d *Document) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	return enc.Encode(persistedDocument{
+		Version: persistVersion,
+		Nodes:   d.nodes,
+		TextLen: d.textLen,
+	})
+}
+
+// Load reads a document snapshot written by Save, validating the
+// structural invariants (parent pointers, region encoding, levels) so a
+// corrupted or truncated snapshot cannot produce an inconsistent tree.
+func Load(r io.Reader) (*Document, error) {
+	var p persistedDocument
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("xmldoc: load: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("xmldoc: load: unsupported snapshot version %d", p.Version)
+	}
+	d := &Document{nodes: p.Nodes, textLen: p.TextLen}
+	if err := d.validate(); err != nil {
+		return nil, fmt.Errorf("xmldoc: load: corrupt snapshot: %w", err)
+	}
+	return d, nil
+}
+
+// validate checks the arena invariants that builders guarantee.
+func (d *Document) validate() error {
+	n := len(d.nodes)
+	if n == 0 {
+		return fmt.Errorf("empty document")
+	}
+	if d.nodes[0].Parent != InvalidNode || d.nodes[0].Level != 0 {
+		return fmt.Errorf("node 0 is not a root")
+	}
+	textLen := 0
+	for i := range d.nodes {
+		nd := &d.nodes[i]
+		if nd.Start != int32(i) {
+			return fmt.Errorf("node %d: Start %d != index", i, nd.Start)
+		}
+		if nd.End < nd.Start || int(nd.End) >= n {
+			return fmt.Errorf("node %d: End %d out of range", i, nd.End)
+		}
+		if i > 0 {
+			p := nd.Parent
+			if p == InvalidNode {
+				return fmt.Errorf("node %d: second root", i)
+			}
+			if p < 0 || int(p) >= n || p >= NodeID(i) {
+				return fmt.Errorf("node %d: bad parent %d", i, p)
+			}
+			pp := &d.nodes[p]
+			if !(pp.Start < nd.Start && nd.End <= pp.End) {
+				return fmt.Errorf("node %d: region not inside parent %d", i, p)
+			}
+			if nd.Level != pp.Level+1 {
+				return fmt.Errorf("node %d: level %d, parent level %d", i, nd.Level, pp.Level)
+			}
+		}
+		if nd.Kind == Text {
+			if nd.First != InvalidNode {
+				return fmt.Errorf("node %d: text node with children", i)
+			}
+			textLen += len(nd.Text)
+		}
+		for c := nd.First; c != InvalidNode; c = d.nodes[c].Next {
+			if c <= NodeID(i) || int(c) >= n {
+				return fmt.Errorf("node %d: bad child %d", i, c)
+			}
+			if d.nodes[c].Parent != NodeID(i) {
+				return fmt.Errorf("node %d: child %d disowns it", i, c)
+			}
+		}
+	}
+	if textLen != d.textLen {
+		return fmt.Errorf("text length mismatch: %d vs %d", textLen, d.textLen)
+	}
+	return nil
+}

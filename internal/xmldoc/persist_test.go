@@ -1,0 +1,85 @@
+package xmldoc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := mustParse(t, carXML)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.XMLString() != d2.XMLString() {
+		t.Fatalf("round trip changed the document")
+	}
+	if d.TotalTextLen() != d2.TotalTextLen() {
+		t.Errorf("text length changed")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	for _, input := range [][]byte{nil, []byte("x"), []byte("garbage input here")} {
+		if _, err := Load(bytes.NewReader(input)); err == nil {
+			t.Errorf("Load(%q) should fail", input)
+		}
+	}
+}
+
+// TestPropertySaveLoadRandomTrees round-trips random documents.
+func TestPropertySaveLoadRandomTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 200; iter++ {
+		d := randomTree(r, 2+r.Intn(60))
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if d.Len() != d2.Len() {
+			t.Fatalf("node count changed")
+		}
+		for i := 0; i < d.Len(); i++ {
+			a, b := d.Node(NodeID(i)), d2.Node(NodeID(i))
+			if a.Kind != b.Kind || a.Tag != b.Tag || a.Text != b.Text ||
+				a.Parent != b.Parent || a.Start != b.Start || a.End != b.End {
+				t.Fatalf("node %d differs after round trip", i)
+			}
+		}
+	}
+}
+
+// TestPropertyValidateCatchesCorruption: flipping structural fields of a
+// loaded snapshot must be caught by validation (content-only corruption
+// can go unnoticed; structure must not).
+func TestPropertyValidateCatchesCorruption(t *testing.T) {
+	d := mustParse(t, carXML)
+	corruptions := []func(*Document){
+		func(d *Document) { d.nodes[3].Parent = 99 },
+		func(d *Document) { d.nodes[2].Start = 0 },
+		func(d *Document) { d.nodes[1].End = int32(len(d.nodes) + 5) },
+		func(d *Document) { d.nodes[4].Level += 3 },
+		func(d *Document) { d.nodes[0].Parent = 1 },
+		func(d *Document) { d.textLen += 10 },
+	}
+	for i, corrupt := range corruptions {
+		cp := mustParse(t, carXML)
+		corrupt(cp)
+		if err := cp.validate(); err == nil {
+			t.Errorf("corruption %d not caught", i)
+		}
+	}
+	// The pristine document validates.
+	if err := d.validate(); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}
