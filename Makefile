@@ -1,0 +1,38 @@
+# Developer entry points. `make ci` is the full gate: formatting, vet,
+# build, tests (including -race), and the parallel-vs-sequential
+# equivalence smoke.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race smoke bench-parallel
+
+ci: fmt-check vet build test race smoke
+
+fmt-check:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The headline correctness property of parallel execution: identical
+# ranked answers at every parallelism level, plus the engine-level
+# concurrent stress run under the race detector.
+smoke:
+	$(GO) test -race -run 'TestParallelMatchesSequential|TestConcurrentSearches' \
+		./internal/plan/ ./internal/engine/ -count=1
+
+# Regenerates BENCH_parallel.json (BENCHTIME=5s for stable numbers).
+bench-parallel:
+	scripts/bench_parallel.sh

@@ -17,6 +17,7 @@ package pimento
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -93,17 +94,62 @@ func BenchmarkFig6(b *testing.B) {
 	}
 }
 
-// BenchmarkFig7 compares the four plan strategies on one large document.
+// benchParallelisms are the worker counts the parallel benchmarks sweep:
+// the sequential reference path plus GOMAXPROCS (deduplicated on
+// single-CPU machines, where they coincide).
+func benchParallelisms() []int {
+	ps := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+// BenchmarkFig7 compares the four plan strategies on one large document,
+// each at sequential (par=1) and fully parallel (par=GOMAXPROCS)
+// execution. The parallel rows measure the tentpole claim: partitioned
+// execution with the shared top-k threshold returns identical answers in
+// less wall-clock time.
 func BenchmarkFig7(b *testing.B) {
 	ix := xmarkIndex(fig7Size)
 	for _, strat := range plan.Strategies {
 		for n := 1; n <= 4; n++ {
 			prof := workload.Fig5Profile(n)
-			b.Run(fmt.Sprintf("plan=%s/kors=%d", strat, n), func(b *testing.B) {
+			for _, par := range benchParallelisms() {
+				b.Run(fmt.Sprintf("plan=%s/kors=%d/par=%d", strat, n, par), func(b *testing.B) {
+					q := workload.Fig5Query()
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						p, err := plan.BuildWith(ix, q, prof, 10,
+							plan.Options{Strategy: strat, Parallelism: par})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if got := p.Execute(); len(got) == 0 {
+							b.Fatal("no answers")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkParScale sweeps document size × worker count on the Push
+// plan (kors=4), the scaling surface scripts/bench_parallel.sh writes to
+// BENCH_parallel.json. Explicit worker counts above GOMAXPROCS are
+// included deliberately: they expose the partitioning overhead floor.
+func BenchmarkParScale(b *testing.B) {
+	for _, size := range benchSizes {
+		ix := xmarkIndex(size)
+		prof := workload.Fig5Profile(4)
+		for _, par := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("size=%s/par=%d", xmark.SizeLabel(size), par), func(b *testing.B) {
 				q := workload.Fig5Query()
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					p, err := plan.Build(ix, q, prof, 10, strat)
+					p, err := plan.BuildWith(ix, q, prof, 10,
+						plan.Options{Strategy: plan.Push, Parallelism: par})
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -53,9 +53,26 @@ func ModeForProfile(p *profile.Profile) Mode {
 	return ModeKVS
 }
 
-// Ranker compares answers under a profile's ordering rules.
+// Ranker compares answers under a profile's ordering rules. A Ranker
+// built with NewRanker precomputes the VOR application order; the zero
+// value (with Prof set) works too, at the cost of recomputing it per
+// comparison. Rankers are read-only after construction and safe to share
+// across the workers of a parallel execution.
 type Ranker struct {
 	Prof *profile.Profile
+
+	vorOrder []int // precomputed Prof.VORPriorityOrder, may be nil
+}
+
+// NewRanker returns a Ranker with the profile's VOR priority order
+// precomputed, so rank comparisons on hot paths (sorts, top-k list
+// inserts, parallel merges) do not allocate.
+func NewRanker(p *profile.Profile) *Ranker {
+	r := &Ranker{Prof: p}
+	if p != nil && len(p.VORs) > 0 {
+		r.vorOrder = p.VORPriorityOrder()
+	}
+	return r
 }
 
 // Compare returns +1 when a ranks strictly before b under the mode, -1
@@ -95,13 +112,32 @@ func (r *Ranker) Compare(a, b *Answer, mode Mode) int {
 	return 0
 }
 
-// CompareV applies the profile's VORs in priority order (the ≺_V used by
-// Algorithm 2); 0 means tie or incomparable.
+// CompareV compares the answers' VOR keys under the profile's
+// deterministic linearization (profile.LinearCompareVORs): a weak order
+// that agrees with the rules' genuine partial order ≺_V on every pair
+// the rules relate, and resolves incomparable pairs by consistent
+// classes. Using the raw partial order here would make the composite
+// rank comparator cyclic (partial verdicts mixed with NodeID
+// tie-breaks), and sorting with a cyclic comparator yields
+// implementation-defined output that can rank a dominated answer above
+// its dominator and varies with input partitioning — the linearization
+// is what makes sequential results well-defined and parallel execution
+// reproduce them exactly. 0 means same class: fall through to the next
+// rank component, as Algorithms 2/3 do for ties.
 func (r *Ranker) CompareV(a, b *Answer) int {
 	if r.Prof == nil || len(r.Prof.VORs) == 0 || a.VKeys == nil || b.VKeys == nil {
 		return 0
 	}
-	return r.Prof.CompareVORs(a.VKeys, b.VKeys)
+	order := r.vorOrder
+	if order == nil {
+		order = r.Prof.VORPriorityOrder()
+	}
+	for _, idx := range order {
+		if c := r.Prof.VORs[idx].LinearCompare(&a.VKeys[idx], &b.VKeys[idx]); c != 0 {
+			return c
+		}
+	}
+	return 0
 }
 
 func cmpFloat(a, b float64) int {

@@ -34,6 +34,13 @@ type TopKPruneOp struct {
 	// SortedInput enables bulk pruning (Section 6.4): on input sorted by
 	// the current rank order, the first pruned answer ends the stream.
 	SortedInput bool
+	// Shared, when non-nil, is the cross-partition threshold of a
+	// parallel execution: the operator prunes candidates provably below
+	// it and publishes its own k-th fully-scored primary scalar into it.
+	// Only modes whose primary rank component is a scalar participate
+	// (S for ModeS, K for ModeKVS, K+S for ModeBlend); the V-first modes
+	// rank by a partial order that a single float cannot bound.
+	Shared *SharedBound
 
 	list  []Answer
 	done  bool
@@ -68,6 +75,9 @@ func (o *TopKPruneOp) Next() (Answer, bool) {
 		}
 		o.stats.In++
 		if o.consider(a) {
+			// Inserts only happen on the keep path, so this is the one
+			// place the k-th entry can have improved.
+			o.publishShared()
 			o.stats.Out++
 			return a, true
 		}
@@ -94,6 +104,9 @@ func (o *TopKPruneOp) TopK() []Answer {
 // consider decides an incoming answer's fate: false prunes it, true
 // keeps it in the flow (inserting it into the top-k list when warranted).
 func (o *TopKPruneOp) consider(a Answer) bool {
+	if o.sharedPrune(&a) {
+		return false
+	}
 	if len(o.list) < o.K {
 		o.insert(a)
 		return true
@@ -112,6 +125,55 @@ func (o *TopKPruneOp) consider(a Answer) bool {
 		return o.algBlend(a, kth)
 	}
 	return true
+}
+
+// sharedPrune drops a candidate whose maximal reachable primary scalar
+// is strictly below the cross-partition bound. A candidate strictly
+// below the bound has at least k answers ranked strictly above it in
+// the final order, whatever the lower-priority components say. With
+// SortedInput the resulting bulk prune stays sound: the primary scalar
+// is non-increasing along the sorted stream while the shared bound only
+// tightens, so every later candidate is prunable too.
+func (o *TopKPruneOp) sharedPrune(a *Answer) bool {
+	if o.Shared == nil {
+		return false
+	}
+	t := o.Shared.Load()
+	switch o.Mode {
+	case ModeS:
+		return a.S+o.SBound < t
+	case ModeKVS:
+		return a.K+o.KorBound < t
+	case ModeBlend:
+		return a.K+a.S+o.SBound+o.KorBound < t
+	}
+	return false
+}
+
+// publishShared exports the k-th list entry's primary scalar once it is
+// final at this plan position (the operator's remaining bound for that
+// scalar is zero, so no later operator can change it). The list is
+// ordered with the scalar as its leading key, so k entries witness the
+// published value.
+func (o *TopKPruneOp) publishShared() {
+	if o.Shared == nil || len(o.list) < o.K {
+		return
+	}
+	kth := &o.list[len(o.list)-1]
+	switch o.Mode {
+	case ModeS:
+		if o.SBound == 0 {
+			o.Shared.Tighten(kth.S)
+		}
+	case ModeKVS:
+		if o.KorBound == 0 {
+			o.Shared.Tighten(kth.K)
+		}
+	case ModeBlend:
+		if o.SBound == 0 && o.KorBound == 0 {
+			o.Shared.Tighten(kth.K + kth.S)
+		}
+	}
 }
 
 // algBlend prunes under the combined K + S rank (the Section 8 weighted

@@ -183,7 +183,7 @@ func (c *Corpus) Search(q *tpq.Query, prof *profile.Profile, k int, strat plan.S
 		return nil, runErr
 	}
 
-	ranker := &algebra.Ranker{Prof: prof}
+	ranker := algebra.NewRanker(prof)
 	mode := algebra.ModeForProfile(prof)
 	sort.SliceStable(hits, func(i, j int) bool {
 		cmp := ranker.Compare(&hits[i].a, &hits[j].a, mode)

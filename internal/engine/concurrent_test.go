@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+)
+
+// TestConcurrentSearches hammers one shared Engine (and thus one shared
+// Index) with overlapping searches from many goroutines. Run under
+// -race it verifies the index's copy-on-write caches and the parallel
+// executor's shared state; functionally it verifies every goroutine
+// gets exactly the answers a lone caller would, whatever interleaving
+// the scheduler picks.
+func TestConcurrentSearches(t *testing.T) {
+	doc := xmark.GenerateSized(xmark.Config{Seed: 7}, 200*1024)
+	e := New(doc, text.Pipeline{})
+
+	type call struct {
+		q    *tpq.Query
+		prof *profile.Profile
+		par  int
+	}
+	// A mix of phrase probes, structural queries and profiles so the
+	// goroutines populate disjoint and overlapping cache keys, with
+	// every parallelism mode in flight at once.
+	calls := []call{
+		{workload.Fig5Query(), workload.Fig5Profile(1), 1},
+		{workload.Fig5Query(), workload.Fig5Profile(4), 0},
+		{workload.Fig5Query(), workload.Fig5Profile(2), 3},
+		{tpq.MustParse(`//person[.//emailaddress]`), nil, 2},
+		{tpq.MustParse(`//item[./description[. ftcontains "gold"]]`), nil, 4},
+		{tpq.MustParse(`//person(*)[. ftcontains "United States"]`), workload.Fig5Profile(3), 2},
+	}
+
+	// Sequential reference responses, computed before any concurrency.
+	want := make([][]Result, len(calls))
+	for i, c := range calls {
+		resp, err := e.Search(Request{Query: c.q, Profile: c.prof, K: 8, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		want[i] = resp.Results
+	}
+
+	const goroutines = 16
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(calls)
+				c := calls[i]
+				resp, err := e.Search(Request{Query: c.q, Profile: c.prof, K: 8, Parallelism: c.par})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %v", g, r, err)
+					return
+				}
+				if !reflect.DeepEqual(resp.Results, want[i]) {
+					errs <- fmt.Errorf("goroutine %d round %d call %d (par=%d): results diverge\nwant %v\ngot  %v",
+						g, r, i, c.par, want[i], resp.Results)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

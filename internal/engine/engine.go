@@ -10,6 +10,7 @@ import (
 	"io"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/algebra"
 	"repro/internal/analysis"
@@ -62,6 +63,11 @@ type Request struct {
 	// TwigAccess uses the holistic twig semijoin as the access path
 	// instead of scan + per-candidate matching.
 	TwigAccess bool
+	// Parallelism partitions plan execution across workers: 0 uses
+	// GOMAXPROCS (scaled down on small candidate lists), 1 forces the
+	// sequential reference path, n >= 2 forces n workers. The ranked
+	// answers are identical at every setting.
+	Parallelism int
 	// Thesaurus, when non-nil, expands required full-text predicates
 	// with optional synonym predicates at ThesaurusWeight (default 0.5).
 	Thesaurus       *text.Thesaurus
@@ -85,6 +91,7 @@ type Response struct {
 	PlanShape    string
 	Stats        []algebra.OpStats
 	TotalPruned  int
+	Workers      int // plan-execution workers (1 = sequential)
 	Elapsed      time.Duration
 }
 
@@ -128,8 +135,11 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		q = q.ExpandPhrases(req.Thesaurus.Synonyms, w)
 	}
 
-	p, err := plan.BuildWith(e.ix, q, req.Profile, k,
-		plan.Options{Strategy: strat, TwigAccess: req.TwigAccess})
+	p, err := plan.BuildWith(e.ix, q, req.Profile, k, plan.Options{
+		Strategy:    strat,
+		TwigAccess:  req.TwigAccess,
+		Parallelism: req.Parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -141,6 +151,7 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		PlanShape:    p.String(),
 		Stats:        p.Stats(),
 		TotalPruned:  p.TotalPruned(),
+		Workers:      p.Workers(),
 		Elapsed:      time.Since(start),
 	}
 	resp.Results = e.materialize(answers)
@@ -178,7 +189,7 @@ func (e *Engine) literalFlockSearch(req Request, k int, strat plan.Strategy, sta
 		a.S += s.bonus
 		merged = append(merged, a)
 	}
-	ranker := &algebra.Ranker{Prof: req.Profile}
+	ranker := algebra.NewRanker(req.Profile)
 	mode := algebra.ModeForProfile(req.Profile)
 	sortAnswers(merged, ranker, mode)
 	if len(merged) > k {
@@ -226,6 +237,11 @@ func snippet(s string, max int) string {
 	s = strings.Join(strings.Fields(s), " ")
 	if len(s) <= max {
 		return s
+	}
+	// Back the cut up to a rune boundary: s[:max] may split a multi-byte
+	// UTF-8 sequence and emit an invalid string.
+	for max > 0 && !utf8.RuneStart(s[max]) {
+		max--
 	}
 	cut := s[:max]
 	if i := strings.LastIndexByte(cut, ' '); i > max/2 {

@@ -13,13 +13,19 @@ package index
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/text"
 	"repro/internal/xmldoc"
 )
 
 // Index holds the per-tag element index and the positional inverted
-// keyword index for one document. An Index is safe for concurrent readers.
+// keyword index for one document. An Index is safe for concurrent
+// readers: the derived caches are immutable copy-on-write snapshots
+// behind atomic pointers, so the per-candidate scoring hot path never
+// takes a lock. Cache misses copy the snapshot under a writer mutex;
+// a plan build warms every (tag, phrase) pair its query needs, so
+// steady-state execution is miss-free.
 type Index struct {
 	doc  *xmldoc.Document
 	pipe text.Pipeline
@@ -33,10 +39,14 @@ type Index struct {
 
 	scorer Scorer // nil means TFIDFScorer
 
-	mu            sync.Mutex
-	phraseCache   map[string][]int32    // raw phrase -> sorted text-node starts
-	maxScoreCache map[tagPhrase]float64 // max element score per tag+phrase
-	idfCache      map[tagPhrase]float64 // retained name; caches the df as float
+	// cacheMu serializes cache writers only; readers atomically load the
+	// current snapshot and never block. Snapshots are never mutated after
+	// publication. Concurrent misses may compute the same entry twice —
+	// results are deterministic, so duplicated work is the only cost.
+	cacheMu       sync.Mutex
+	phraseCache   atomic.Pointer[map[string][]int32]    // raw phrase -> sorted text-node starts
+	maxScoreCache atomic.Pointer[map[tagPhrase]float64] // max element score per tag+phrase
+	dfCache       atomic.Pointer[map[tagPhrase]int]     // document frequency per tag+phrase
 }
 
 // tagPhrase is a composite cache key (a struct key avoids allocating
@@ -47,14 +57,12 @@ type tagPhrase struct{ tag, phrase string }
 // indexes. Building is a single pass over the document.
 func Build(doc *xmldoc.Document, pipe text.Pipeline) *Index {
 	ix := &Index{
-		doc:           doc,
-		pipe:          pipe,
-		tags:          make(map[string][]xmldoc.NodeID),
-		positions:     make(map[string][]int32),
-		phraseCache:   make(map[string][]int32),
-		maxScoreCache: make(map[tagPhrase]float64),
-		idfCache:      make(map[tagPhrase]float64),
+		doc:       doc,
+		pipe:      pipe,
+		tags:      make(map[string][]xmldoc.NodeID),
+		positions: make(map[string][]int32),
 	}
+	ix.resetCaches()
 	doc.Walk(func(id xmldoc.NodeID) bool {
 		n := doc.Node(id)
 		switch n.Kind {
@@ -107,6 +115,32 @@ func (ix *Index) Tags() []string {
 // NumTokens returns the total number of indexed token occurrences.
 func (ix *Index) NumTokens() int { return ix.numTokens }
 
+// resetCaches installs fresh empty cache snapshots (build time and
+// scorer changes). Callers that can race with readers must hold cacheMu.
+func (ix *Index) resetCaches() {
+	phrase := make(map[string][]int32)
+	maxScore := make(map[tagPhrase]float64)
+	df := make(map[tagPhrase]int)
+	ix.phraseCache.Store(&phrase)
+	ix.maxScoreCache.Store(&maxScore)
+	ix.dfCache.Store(&df)
+}
+
+// cachePut publishes snapshot' = snapshot ∪ {key: val} under cacheMu.
+// The copy is cheap: cache key spaces are bounded by the distinct
+// phrases and tags of the running queries, not by the document.
+func cachePut[K comparable, V any](mu *sync.Mutex, p *atomic.Pointer[map[K]V], key K, val V) {
+	mu.Lock()
+	defer mu.Unlock()
+	old := *p.Load()
+	next := make(map[K]V, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = val
+	p.Store(&next)
+}
+
 // phraseOccurrences returns the sorted Start positions (== NodeIDs) of the
 // text nodes holding each occurrence of phrase; an occurrence is a run of
 // the phrase's normalized terms at consecutive global positions inside a
@@ -114,22 +148,18 @@ func (ix *Index) NumTokens() int { return ix.numTokens }
 func (ix *Index) phraseOccurrences(phrase string) []int32 {
 	// Cache by the raw phrase: predicates reuse identical strings, and
 	// probing must not re-tokenize per candidate.
-	ix.mu.Lock()
-	occ, ok := ix.phraseCache[phrase]
-	ix.mu.Unlock()
-	if ok {
+	if occ, ok := (*ix.phraseCache.Load())[phrase]; ok {
 		return occ
 	}
 
 	terms := ix.pipe.NormalizePhrase(phrase)
+	var occ []int32
 	if len(terms) == 0 {
 		occ = []int32{}
 	} else {
 		occ = ix.computePhrase(terms)
 	}
-	ix.mu.Lock()
-	ix.phraseCache[phrase] = occ
-	ix.mu.Unlock()
+	cachePut(&ix.cacheMu, &ix.phraseCache, phrase, occ)
 	return occ
 }
 
@@ -206,14 +236,15 @@ func (ix *Index) TF(elem xmldoc.NodeID, phrase string) int {
 }
 
 // DF returns the number of elements with the given tag whose subtree
-// contains phrase — the document-frequency analog used by idf.
+// contains phrase — the document-frequency analog used by idf. The
+// wildcard tag "*" counts over every element.
 func (ix *Index) DF(tag, phrase string) int {
 	occ := ix.phraseOccurrences(phrase)
 	if len(occ) == 0 {
 		return 0
 	}
 	df := 0
-	for _, e := range ix.tags[tag] {
+	for _, e := range ix.Elements(tag) {
 		n := ix.doc.Node(e)
 		lo := sort.Search(len(occ), func(i int) bool { return occ[i] >= n.Start })
 		if lo < len(occ) && occ[lo] <= n.End {
@@ -247,18 +278,11 @@ func (ix *Index) Score(elem xmldoc.NodeID, phrase string) float64 {
 // predicate must not redo it.
 func (ix *Index) cachedDF(tag, phrase string) int {
 	key := tagPhrase{tag, phrase}
-	ix.mu.Lock()
-	if v, ok := ix.idfCache[key]; ok {
-		ix.mu.Unlock()
-		return int(v)
+	if v, ok := (*ix.dfCache.Load())[key]; ok {
+		return v
 	}
-	ix.mu.Unlock()
-
 	df := ix.DF(tag, phrase)
-
-	ix.mu.Lock()
-	ix.idfCache[key] = float64(df)
-	ix.mu.Unlock()
+	cachePut(&ix.cacheMu, &ix.dfCache, key, df)
 	return df
 }
 
@@ -274,21 +298,15 @@ const MaxScore = 1.0
 // are cached per (tag, phrase).
 func (ix *Index) MaxPhraseScore(tag, phrase string) float64 {
 	key := tagPhrase{tag, phrase}
-	ix.mu.Lock()
-	if v, ok := ix.maxScoreCache[key]; ok {
-		ix.mu.Unlock()
+	if v, ok := (*ix.maxScoreCache.Load())[key]; ok {
 		return v
 	}
-	ix.mu.Unlock()
-
 	best := 0.0
-	for _, e := range ix.tags[tag] {
+	for _, e := range ix.Elements(tag) {
 		if s := ix.Score(e, phrase); s > best {
 			best = s
 		}
 	}
-	ix.mu.Lock()
-	ix.maxScoreCache[key] = best
-	ix.mu.Unlock()
+	cachePut(&ix.cacheMu, &ix.maxScoreCache, key, best)
 	return best
 }

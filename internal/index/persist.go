@@ -70,16 +70,15 @@ func Load(r io.Reader, doc *xmldoc.Document) (*Index, error) {
 		}
 		return true
 	})
-	return &Index{
-		doc:           doc,
-		pipe:          p.Pipe,
-		tags:          p.Tags,
-		allElems:      allElems,
-		positions:     p.Positions,
-		seqNode:       p.SeqNode,
-		numTokens:     p.NumTokens,
-		phraseCache:   make(map[string][]int32),
-		maxScoreCache: make(map[tagPhrase]float64),
-		idfCache:      make(map[tagPhrase]float64),
-	}, nil
+	ix := &Index{
+		doc:       doc,
+		pipe:      p.Pipe,
+		tags:      p.Tags,
+		allElems:  allElems,
+		positions: p.Positions,
+		seqNode:   p.SeqNode,
+		numTokens: p.NumTokens,
+	}
+	ix.resetCaches()
+	return ix, nil
 }

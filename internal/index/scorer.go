@@ -94,11 +94,10 @@ func (BooleanScorer) Name() string   { return "boolean" }
 // before the index serves queries (scores and bounds are cached); it
 // clears the caches.
 func (ix *Index) SetScorer(s Scorer) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.cacheMu.Lock()
+	defer ix.cacheMu.Unlock()
 	ix.scorer = s
-	ix.maxScoreCache = make(map[tagPhrase]float64)
-	ix.idfCache = make(map[tagPhrase]float64)
+	ix.resetCaches()
 }
 
 // ScorerName reports the active scorer.

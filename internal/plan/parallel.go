@@ -1,0 +1,128 @@
+// Parallel scan-partitioned plan execution.
+//
+// The pipelines of Fig. 4 process distinguished-node candidates one at
+// a time, and per-candidate matching is independent — the only shared
+// state a sound top-k evaluation needs is the pruning threshold. So the
+// parallel executor splits the access path's candidate list (tag scan
+// or twig output) into contiguous partitions, gives each worker its own
+// full operator chain (each chain owns its Matcher, which reuses
+// scratch buffers and is not concurrency-safe), and lets the workers
+// exchange prune thresholds through an atomic, monotonically tightening
+// SharedBound. A stale (lower) read of the bound is merely looser — it
+// prunes less, never an answer that belongs in the top k — so workers
+// never block on each other.
+//
+// Determinism: each worker returns the top k of its partition under the
+// full rank order with NodeID tie-break; the final k-merge sorts the
+// union under the same total order, which is exactly the sequential
+// result whatever the partition count or goroutine interleaving.
+package plan
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/xmldoc"
+)
+
+// minPartition is the smallest candidate partition worth a dedicated
+// worker: below this, goroutine spawn and per-worker chain construction
+// cost more than scanning the partition sequentially.
+const minPartition = 256
+
+// effectiveWorkers resolves Options.Parallelism against the candidate
+// count: 1 (or a single-CPU GOMAXPROCS) keeps the sequential reference
+// path; 0 takes GOMAXPROCS workers scaled down so each gets at least
+// minPartition candidates; an explicit n >= 2 is honored (clamped to
+// one candidate per worker) so tests can force parallelism on small
+// inputs.
+func (p *Plan) effectiveWorkers() int {
+	n := p.opts.Parallelism
+	if n == 1 {
+		return 1
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if byLoad := len(p.sourceIDs) / minPartition; byLoad < n {
+			n = byLoad
+		}
+	}
+	if n > len(p.sourceIDs) {
+		n = len(p.sourceIDs)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// executeParallel runs the plan as w scan-partitioned workers and
+// k-merges their results deterministically.
+func (p *Plan) executeParallel(w int) []algebra.Answer {
+	ids := p.sourceIDs
+	shared := algebra.NewSharedBound()
+	type workerOut struct {
+		top   []algebra.Answer
+		stats []algebra.OpStats
+	}
+	outs := make([]workerOut, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := i*len(ids)/w, (i+1)*len(ids)/w
+		wg.Add(1)
+		go func(i int, part []xmldoc.NodeID) {
+			defer wg.Done()
+			src := &algebra.ListScanOp{Name: p.sourceName, IDs: part}
+			ops, final := p.buildChain(src, shared)
+			root := ops[len(ops)-1]
+			root.Open()
+			for {
+				if _, ok := root.Next(); !ok {
+					break
+				}
+			}
+			stats := make([]algebra.OpStats, len(ops))
+			for j, op := range ops {
+				stats[j] = op.Stats()
+			}
+			outs[i] = workerOut{top: final.TopK(), stats: stats}
+		}(i, ids[lo:hi])
+	}
+	wg.Wait()
+	p.lastWorkers = w
+
+	// Position-wise stats merge: worker chains are built by the same
+	// buildChain call sequence, so operator j means the same thing in
+	// every worker.
+	merged := outs[0].stats
+	for _, o := range outs[1:] {
+		for j := range merged {
+			merged[j].In += o.stats[j].In
+			merged[j].Out += o.stats[j].Out
+			merged[j].Pruned += o.stats[j].Pruned
+		}
+	}
+	p.parStats = merged
+
+	// Deterministic k-merge under the same total order as the sequential
+	// final sort: rank comparison first, NodeID as tie-break. Partitions
+	// are disjoint, so no deduplication is needed.
+	all := make([]algebra.Answer, 0, w*p.K)
+	for _, o := range outs {
+		all = append(all, o.top...)
+	}
+	r, mode := p.ranker, p.Mode
+	sort.SliceStable(all, func(i, j int) bool {
+		c := r.Compare(&all[i], &all[j], mode)
+		if c != 0 {
+			return c > 0
+		}
+		return all[i].Node < all[j].Node
+	})
+	if len(all) > p.K {
+		all = all[:p.K]
+	}
+	return all
+}

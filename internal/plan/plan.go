@@ -14,6 +14,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/tpq"
 	"repro/internal/twig"
+	"repro/internal/xmldoc"
 )
 
 // Strategy selects the plan shape of Fig. 7.
@@ -66,9 +67,23 @@ type Plan struct {
 	Mode     algebra.Mode
 	K        int
 
+	// Build context, retained so Execute can instantiate additional
+	// operator chains for parallel partitions.
+	ix     *index.Index
+	q      *tpq.Query
+	prof   *profile.Profile
+	opts   Options
+	ranker *algebra.Ranker
+
+	sourceIDs  []xmldoc.NodeID // the access path's candidate list
+	sourceName string          // display name of the source operator
+
 	root  algebra.Operator
 	final *algebra.TopKPruneOp
 	ops   []algebra.Operator
+
+	parStats    []algebra.OpStats // merged worker stats of a parallel Execute
+	lastWorkers int               // workers used by the most recent Execute
 }
 
 // Options tunes plan compilation beyond the strategy.
@@ -78,6 +93,13 @@ type Options struct {
 	// with a holistic twig filter (internal/twig): the distinguished
 	// candidates are computed set-at-a-time before the pipeline starts.
 	TwigAccess bool
+	// Parallelism partitions the access path's candidate list across
+	// workers at Execute time: 0 uses GOMAXPROCS (scaled down when the
+	// candidate list is too small to amortize worker setup), 1 forces
+	// the sequential reference path, n >= 2 forces exactly n workers
+	// (clamped to the candidate count). Results are identical at every
+	// setting; see DESIGN.md "Parallel execution".
+	Parallelism int
 }
 
 // Build compiles a (possibly profile-encoded) query into a physical plan.
@@ -89,37 +111,65 @@ func Build(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, strat St
 
 // BuildWith is Build with full options.
 func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts Options) (*Plan, error) {
-	strat := opts.Strategy
 	if k <= 0 {
 		return nil, fmt.Errorf("plan: k must be positive, got %d", k)
 	}
-	if strat == Default {
-		strat = Push
+	if opts.Strategy == Default {
+		opts.Strategy = Push
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	m := algebra.NewMatcher(ix, q)
-	ranker := &algebra.Ranker{Prof: prof}
-	mode := algebra.ModeForProfile(prof)
+	p := &Plan{
+		Strategy: opts.Strategy,
+		Mode:     algebra.ModeForProfile(prof),
+		K:        k,
+		ix:       ix, q: q, prof: prof, opts: opts,
+		ranker: algebra.NewRanker(prof),
+	}
+	distTag := q.Nodes[q.Dist].Tag
+	var src algebra.Operator
+	if opts.TwigAccess {
+		p.sourceIDs = twig.Distinguished(ix, q)
+		p.sourceName = "twigscan(" + distTag + ")"
+		src = &algebra.ListScanOp{Name: p.sourceName, IDs: p.sourceIDs}
+	} else {
+		p.sourceIDs = ix.Elements(distTag)
+		p.sourceName = "scan(" + distTag + ")"
+		src = &algebra.ScanOp{Ix: ix, Tag: distTag}
+	}
+	// Compiling the chain doubles as the cache pre-warm pass: the bound
+	// computations below (MaxUnitScore, MaxKORContribution) populate the
+	// index's phrase/df/max-score caches for every (tag, phrase) pair the
+	// query and profile can probe, so per-candidate evaluation — and the
+	// per-worker rebuilds of a parallel Execute — hit read-only snapshots.
+	p.ops, p.final = p.buildChain(src, nil)
+	p.root = p.ops[len(p.ops)-1]
+	return p, nil
+}
 
-	p := &Plan{Strategy: strat, Mode: mode, K: k}
+// buildChain compiles the operator pipeline on top of the given source
+// operator. Every call creates its own Matcher (matchers reuse scratch
+// buffers and are not safe for concurrent use); shared is non-nil only
+// for the workers of a parallel Execute, which exchange their top-k
+// thresholds through it.
+func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]algebra.Operator, *algebra.TopKPruneOp) {
+	ix, q, prof, k := p.ix, p.q, p.prof, p.K
+	strat, mode, ranker := p.Strategy, p.Mode, p.ranker
+	m := algebra.NewMatcher(ix, q)
+
+	var ops []algebra.Operator
 	push := func(op algebra.Operator) algebra.Operator {
-		p.ops = append(p.ops, op)
+		ops = append(ops, op)
 		return op
 	}
 
-	var op algebra.Operator
-	if opts.TwigAccess {
-		op = push(&algebra.ListScanOp{
-			Name: "twigscan(" + q.Nodes[q.Dist].Tag + ")",
-			IDs:  twig.Distinguished(ix, q),
-		})
+	op := push(src)
+	if p.opts.TwigAccess {
 		if units := m.RequiredConstraintUnits(); len(units) > 0 {
 			op = push(&algebra.UnitFilterOp{In: op, Matcher: m, Units: units})
 		}
 	} else {
-		op = push(&algebra.ScanOp{Ix: ix, Tag: q.Nodes[q.Dist].Tag})
 		op = push(&algebra.RequiredOp{In: op, Matcher: m})
 	}
 
@@ -149,10 +199,10 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 
 	remS := totalS
 	for i, u := range ftUnits {
-		if strat == PushDeep && len(p.ops) > 2 {
+		if strat == PushDeep && len(ops) > 2 {
 			op = push(&algebra.TopKPruneOp{
 				In: op, K: k, Mode: mode, Ranker: ranker,
-				SBound: remS, KorBound: totalK,
+				SBound: remS, KorBound: totalK, Shared: shared,
 			})
 		}
 		op = push(&algebra.FTOp{In: op, Matcher: m, Unit: u})
@@ -174,6 +224,7 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 			// KORs' maximal scores (Section 6.3's Plan 2 description).
 			op = push(&algebra.TopKPruneOp{
 				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
+				Shared: shared,
 			})
 		}
 		op = push(&algebra.KOROp{In: op, Ix: ix, Kor: kor})
@@ -185,12 +236,13 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 		case InterleaveNoSort:
 			op = push(&algebra.TopKPruneOp{
 				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
+				Shared: shared,
 			})
 		case InterleaveSort:
 			op = push(&algebra.SortOp{In: op, Ranker: ranker, Mode: mode})
 			op = push(&algebra.TopKPruneOp{
 				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
-				SortedInput: true,
+				SortedInput: true, Shared: shared,
 			})
 		}
 		if (strat == Push || strat == PushDeep) && i == len(kors)-1 {
@@ -198,7 +250,7 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 			// (kor-scorebound 0), so the final sort sees a k-sized stream
 			// instead of every candidate.
 			op = push(&algebra.TopKPruneOp{
-				In: op, K: k, Mode: mode, Ranker: ranker,
+				In: op, K: k, Mode: mode, Ranker: ranker, Shared: shared,
 			})
 		}
 	}
@@ -207,17 +259,23 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 	op = push(&algebra.SortOp{In: op, Ranker: ranker, Mode: mode})
 	final := &algebra.TopKPruneOp{
 		In: op, K: k, Mode: mode, Ranker: ranker, SortedInput: true,
+		Shared: shared,
 	}
-	op = push(final)
+	push(final)
 
-	p.root = op
-	p.final = final
-	return p, nil
+	return ops, final
 }
 
 // Execute runs the plan to completion and returns the top-k answers,
-// best first.
+// best first. With Options.Parallelism != 1 (and enough candidates) the
+// access path is partitioned across workers; the answer list is
+// identical to the sequential path's at every parallelism level.
 func (p *Plan) Execute() []algebra.Answer {
+	if w := p.effectiveWorkers(); w > 1 {
+		return p.executeParallel(w)
+	}
+	p.parStats = nil
+	p.lastWorkers = 1
 	p.root.Open()
 	for {
 		if _, ok := p.root.Next(); !ok {
@@ -227,8 +285,19 @@ func (p *Plan) Execute() []algebra.Answer {
 	return p.final.TopK()
 }
 
-// Stats returns per-operator counters, bottom-up.
+// Workers reports how many workers the most recent Execute used
+// (0 before the first Execute).
+func (p *Plan) Workers() int { return p.lastWorkers }
+
+// Stats returns per-operator counters, bottom-up. After a parallel
+// Execute the counters are the position-wise sums over all workers
+// (worker chains are structurally identical).
 func (p *Plan) Stats() []algebra.OpStats {
+	if p.parStats != nil {
+		out := make([]algebra.OpStats, len(p.parStats))
+		copy(out, p.parStats)
+		return out
+	}
 	out := make([]algebra.OpStats, len(p.ops))
 	for i, op := range p.ops {
 		out[i] = op.Stats()

@@ -240,6 +240,110 @@ func (v *VOR) prefers(a, b *Key) bool {
 	return false
 }
 
+// LinearCompare is a deterministic weak order extending the rule's
+// partial order: whenever Compare(a, b) != 0, LinearCompare agrees, and
+// pairs the rule leaves unordered are resolved by grouping answers into
+// totally ordered classes. Concretely it compares, in order:
+//
+//   - rule applicability (answers with the rule's tag first);
+//   - the common-equality attribute tuple (the rule only relates answers
+//     whose tuples are equal; distinct tuples get a consistent arbitrary
+//     order, missing attributes last);
+//   - the form key: for x.attr = c, answers matching the constant before
+//     the rest; for x.attr < y.attr (resp. >), ascending (descending)
+//     attribute value with non-numeric answers last; for prefRel, the
+//     PartialOrder's canonical Level (a linear extension of the stated
+//     preferences), then the raw value for cross-chain determinism.
+//
+// Local x/y side-conditions only mask preferences (they never reverse
+// one), so ignoring them here keeps the extension property. Answers in
+// the same class compare 0 and fall through to the rank order's next
+// component (K, S, then NodeID) exactly as genuinely tied answers do.
+func (v *VOR) LinearCompare(a, b *Key) int {
+	if a.TagOK != b.TagOK {
+		if a.TagOK {
+			return 1
+		}
+		return -1
+	}
+	if !a.TagOK {
+		return 0
+	}
+	for i := range v.CommonEq {
+		if a.HasCommon[i] != b.HasCommon[i] {
+			if a.HasCommon[i] {
+				return 1
+			}
+			return -1
+		}
+		if a.HasCommon[i] && a.Common[i] != b.Common[i] {
+			if a.Common[i] < b.Common[i] {
+				return 1
+			}
+			return -1
+		}
+	}
+	switch v.Form {
+	case FormEqConst:
+		am := keyMatchesConst(v, a)
+		bm := keyMatchesConst(v, b)
+		if am != bm {
+			if am {
+				return 1
+			}
+			return -1
+		}
+	case FormAttrCmp:
+		if a.HasNum != b.HasNum {
+			if a.HasNum {
+				return 1
+			}
+			return -1
+		}
+		if a.HasNum && a.Num != b.Num {
+			less := a.Num < b.Num
+			if v.Op == tpq.GT {
+				less = !less
+			}
+			if less {
+				return 1
+			}
+			return -1
+		}
+	case FormPrefRel:
+		if a.HasVal != b.HasVal {
+			if a.HasVal {
+				return 1
+			}
+			return -1
+		}
+		if a.HasVal {
+			la, lb := v.Order.Level(a.Val), v.Order.Level(b.Val)
+			if la != lb {
+				if la < lb {
+					return 1
+				}
+				return -1
+			}
+			if a.Val != b.Val {
+				if a.Val < b.Val {
+					return 1
+				}
+				return -1
+			}
+		}
+	}
+	return 0
+}
+
+func keyMatchesConst(v *VOR, k *Key) bool {
+	if !k.HasVal {
+		return false
+	}
+	c, ok := v.Const.Compare(k.Val)
+	return ok && c == 0
+}
+
 // CompAtom is one comparison atom relating the two variables of a VOR,
 // exposed in the general form local(x) & local(y) & comp(x,y) -> x ≺ y
 // that the ambiguity analysis of Section 5.2 works with.
@@ -390,15 +494,44 @@ func (p *Profile) SortKORsByPriority() []*KOR {
 
 // CompareVORs applies the profile's VORs in priority order and returns
 // the first non-zero verdict: +1 when a is preferred, -1 when b is.
-// This is the prioritized-lexicographic linearization DESIGN.md §6.3
-// documents for sorting; Algorithm 2's pruning uses the rules' genuine
-// partial order via the same per-rule Compare.
+// Each rule contributes its genuine partial order, so two answers the
+// rules never relate compare as 0 even when they differ — use
+// LinearCompareVORs wherever a sort needs a deterministic order.
 func (p *Profile) CompareVORs(a, b []Key) int {
 	rules := p.SortVORsByPriority()
-	for i, v := range rules {
-		_ = i
+	for _, v := range rules {
 		idx := p.vorIndex(v)
 		if c := v.Compare(&a[idx], &b[idx]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// VORPriorityOrder returns indices into p.VORs in rule-application order
+// (ascending priority, declaration order for ties and for unprioritized
+// rules). Callers on hot comparison paths compute it once and reuse it.
+func (p *Profile) VORPriorityOrder() []int {
+	rules := p.SortVORsByPriority()
+	out := make([]int, len(rules))
+	for i, v := range rules {
+		out[i] = p.vorIndex(v)
+	}
+	return out
+}
+
+// LinearCompareVORs is the prioritized-lexicographic composition of each
+// rule's LinearCompare: a deterministic weak order that extends the
+// rules' partial order (CompareVORs never disagrees with it on ordered
+// pairs). Sorting with CompareVORs itself is unsound — a partial order
+// plus a NodeID tie-break is cyclic (a ≺-wins over b, b beats c on
+// NodeID, c beats a on NodeID), and sort.SliceStable over a cyclic
+// comparator returns implementation-defined output that can even place a
+// dominated answer above its dominator. LinearCompareVORs is what every
+// rank-order sort, top-k list insertion and parallel merge must use.
+func (p *Profile) LinearCompareVORs(a, b []Key) int {
+	for _, idx := range p.VORPriorityOrder() {
+		if c := p.VORs[idx].LinearCompare(&a[idx], &b[idx]); c != 0 {
 			return c
 		}
 	}

@@ -118,6 +118,7 @@ type options struct {
 	strategy  Strategy
 	literal   bool
 	twig      bool
+	par       int
 	thesaurus *text.Thesaurus
 	thWeight  float64
 	scorer    index.Scorer
@@ -151,6 +152,13 @@ func WithLiteralRewrite() Option { return func(o *options) { o.literal = true } 
 // access path instead of scan + per-candidate matching — faster on
 // structure-heavy queries over large documents.
 func WithTwigAccess() Option { return func(o *options) { o.twig = true } }
+
+// WithParallelism sets how many workers execute the physical plan: 0
+// (the default) uses GOMAXPROCS, scaled down when the document yields
+// few candidates; 1 forces the sequential reference path; n >= 2 forces
+// n workers. The ranked answers are identical at every setting — only
+// wall-clock time changes.
+func WithParallelism(n int) Option { return func(o *options) { o.par = n } }
 
 // Thesaurus maps phrases to synonyms for query expansion; build one with
 // NewThesaurus / ParseThesaurus.
@@ -242,6 +250,7 @@ func (e *Engine) Search(q *Query, prof *Profile, opts ...Option) (*Response, err
 		Strategy:        o.strategy,
 		LiteralRewrite:  o.literal,
 		TwigAccess:      o.twig,
+		Parallelism:     o.par,
 		Thesaurus:       o.thesaurus,
 		ThesaurusWeight: o.thWeight,
 	})

@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench_parallel.sh — run the parallel-execution benchmarks and write
+# BENCH_parallel.json: one record per (benchmark, size, parallelism)
+# with ns/op, so the sequential-vs-parallel wall-clock claim is a
+# committed, regenerable artifact.
+#
+# Usage: scripts/bench_parallel.sh [output.json]
+# Tune with BENCHTIME (default 1x for CI speed; use e.g. 5s for stable
+# numbers) and BENCH (regexp of benchmarks to run).
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_parallel.json}"
+benchtime="${BENCHTIME:-1x}"
+bench="${BENCH:-BenchmarkParScale|BenchmarkFig7/plan=PtpkP}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" . | tee "$raw"
+
+awk -v gomaxprocs="$(go env GOMAXPROCS 2>/dev/null || echo "")" '
+BEGIN { print "[" ; n = 0 }
+/^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    size = ""; par = ""; plan = ""; kors = ""
+    split(name, parts, "/")
+    for (i in parts) {
+        if (parts[i] ~ /^size=/) { size = substr(parts[i], 6) }
+        if (parts[i] ~ /^par=/)  { par  = substr(parts[i], 5) }
+        if (parts[i] ~ /^plan=/) { plan = substr(parts[i], 6) }
+        if (parts[i] ~ /^kors=/) { kors = substr(parts[i], 6) }
+    }
+    if (n++) printf ",\n"
+    printf "  {\"benchmark\": \"%s\"", name
+    if (plan != "") printf ", \"plan\": \"%s\"", plan
+    if (kors != "") printf ", \"kors\": %s", kors
+    if (size != "") printf ", \"size\": \"%s\"", size
+    if (par != "")  printf ", \"par\": %s", par
+    printf ", \"iters\": %s, \"ns_per_op\": %s}", $2, $3
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
