@@ -1,12 +1,12 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
-# build, tests (including -race), and the parallel-vs-sequential
-# equivalence smoke.
+# build, tests (including -race), coverage floors, and the concurrency
+# smoke suite (parallel-equivalence + server stress).
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke bench-parallel
+.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel
 
-ci: fmt-check vet build test race smoke
+ci: fmt-check vet build test race smoke cover
 
 fmt-check:
 	@files="$$(gofmt -l .)"; \
@@ -26,12 +26,39 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The headline correctness property of parallel execution: identical
-# ranked answers at every parallelism level, plus the engine-level
-# concurrent stress run under the race detector.
+# The headline correctness properties under the race detector: identical
+# ranked answers at every parallelism level, the engine-level concurrent
+# stress run, and the serving layer's mixed-traffic stress (shared
+# cache, mid-flight deadline expiry, goroutine-leak check).
 smoke:
 	$(GO) test -race -run 'TestParallelMatchesSequential|TestConcurrentSearches' \
 		./internal/plan/ ./internal/engine/ -count=1
+	$(GO) test -race -run 'TestServerStress|TestCacheEquivalenceProperty|TestCacheSingleFlight' \
+		./internal/server/ -count=2
+
+# Coverage floors on the layers the serving path leans on. The floor is
+# a gate, not a target: new handlers and cache paths ship with tests.
+COVER_FLOOR := 80
+cover:
+	@for pkg in ./internal/server/ ./internal/plan/; do \
+		pct="$$($(GO) test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"; \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
+		ok="$$(awk "BEGIN{print ($$pct >= $(COVER_FLOOR)) ? 1 : 0}")"; \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover: $$pkg at $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+		echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+	done
+
+# A short fuzz pass over every fuzz target: the three parsers and the
+# /search handler. Catches regressions in input hardening without the
+# open-ended runtime of a real fuzz campaign.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$' ./internal/tpq/
+	$(GO) test -fuzz FuzzParseXML -fuzztime $(FUZZTIME) -run '^$$' ./internal/xmldoc/
+	$(GO) test -fuzz FuzzParseProfile -fuzztime $(FUZZTIME) -run '^$$' ./internal/profile/
+	$(GO) test -fuzz FuzzSearchHandler -fuzztime $(FUZZTIME) -run '^$$' ./internal/server/
 
 # Regenerates BENCH_parallel.json (BENCHTIME=5s for stable numbers).
 bench-parallel:

@@ -1,0 +1,144 @@
+// Command pimentod is PIMENTO's HTTP search daemon: it indexes one or
+// more XML documents and serves personalized search over a JSON API.
+//
+//	pimentod -addr :8080 -doc cars=cars.xml -doc auction=xmark.xml
+//	pimentod -addr :8080 -xmark 512K            # generate a demo document
+//
+//	curl -s localhost:8080/search -d '{"doc":"cars","query":"//car[price < 2000]","k":5}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/statsz
+//
+// Endpoints: POST /search, POST /explain, GET /healthz, GET /statsz.
+// Per-request deadlines come from the request's timeout_ms field,
+// bounded by -timeout; repeated identical requests are answered from a
+// single-flight LRU result cache. SIGINT/SIGTERM drain in-flight
+// requests before exit (graceful shutdown).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/text"
+	"repro/internal/xmark"
+	"repro/internal/xmldoc"
+)
+
+// docFlags collects repeated -doc name=path (or bare path) arguments.
+type docFlags []string
+
+func (d *docFlags) String() string     { return strings.Join(*d, ",") }
+func (d *docFlags) Set(s string) error { *d = append(*d, s); return nil }
+
+func main() {
+	var docs docFlags
+	flag.Var(&docs, "doc", "document to serve, as name=path.xml (repeatable; bare path uses the file stem as name)")
+	addr := flag.String("addr", ":8080", "listen address")
+	xmarkSize := flag.String("xmark", "", "additionally serve a generated XMark document of ~this size (e.g. 512K, 4M) under the name \"xmark\"")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 disables)")
+	cacheSize := flag.Int("cache", 512, "result cache capacity in entries")
+	stem := flag.Bool("stem", true, "apply Porter stemming while indexing")
+	stopwords := flag.Bool("stopwords", false, "drop English stopwords while indexing")
+	flag.Parse()
+
+	if len(docs) == 0 && *xmarkSize == "" {
+		fmt.Fprintln(os.Stderr, "pimentod: at least one -doc (or -xmark) is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Pipeline:       text.Pipeline{Stem: *stem, DropStopwords: *stopwords},
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+	})
+
+	for _, spec := range docs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			path = spec
+			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("pimentod: %v", err)
+		}
+		doc, err := xmldoc.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("pimentod: %s: %v", path, err)
+		}
+		srv.Add(name, doc)
+		log.Printf("indexed %s (%d nodes) as %q", path, doc.Len(), name)
+	}
+	if *xmarkSize != "" {
+		n, err := parseSize(*xmarkSize)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "pimentod: bad -xmark size %q (want e.g. 512K, 4M)\n", *xmarkSize)
+			os.Exit(2)
+		}
+		doc := xmark.GenerateSized(xmark.Config{Seed: 42}, n)
+		srv.Add("xmark", doc)
+		log.Printf("generated xmark document (%d nodes) as %q", doc.Len(), "xmark")
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (their
+	// own deadlines bound the drain), then exit.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down: draining in-flight requests")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(idle)
+	}()
+
+	log.Printf("pimentod listening on %s (%d documents, cache %d entries, default timeout %s)",
+		*addr, len(srv.Docs()), *cacheSize, *timeout)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pimentod: %v", err)
+	}
+	<-idle
+	log.Printf("bye")
+}
+
+// parseSize parses a human-friendly byte size: a plain integer, or a
+// number with a K or M suffix (1024-based), e.g. "512K", "5.7M".
+func parseSize(s string) (int, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1024, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1024*1024, s[:len(s)-1]
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int(f * float64(mult)), nil
+}

@@ -1,0 +1,104 @@
+package algebra
+
+import (
+	"context"
+	"time"
+)
+
+// cancelStride is how many checkpoint probes elapse between context
+// polls. Polling ctx.Err() is an atomic load plus an interface call;
+// amortizing it keeps the per-candidate overhead unmeasurable while
+// still bounding abort latency to a few dozen candidates.
+const cancelStride = 64
+
+// CancelCheck is a cooperative cancellation probe threaded through a
+// plan's operator chain. The pull-based pipelines of Fig. 4 move every
+// candidate through the source operator exactly once and through each
+// prune loop at most once, so placing checkpoints there lets a
+// context deadline or client disconnect abort an execution after a
+// bounded amount of extra work instead of burning a worker on a scan
+// nobody is waiting for.
+//
+// A CancelCheck is owned by a single operator chain (one goroutine);
+// the probe counter is deliberately unsynchronized.
+type CancelCheck struct {
+	ctx      context.Context
+	deadline time.Time
+	hasDl    bool
+	n        int
+	done     bool
+}
+
+// NewCancelCheck returns a probe for ctx. A nil ctx (or
+// context.Background()) yields a probe that never fires.
+func NewCancelCheck(ctx context.Context) *CancelCheck {
+	c := &CancelCheck{}
+	c.Reset(ctx)
+	return c
+}
+
+// Reset rebinds the probe to a new context and clears its state, so a
+// plan built once can be executed under successive contexts.
+func (c *CancelCheck) Reset(ctx context.Context) {
+	c.ctx = ctx
+	c.n = 0
+	c.done = false
+	c.deadline, c.hasDl = time.Time{}, false
+	if ctx != nil {
+		c.deadline, c.hasDl = ctx.Deadline()
+	}
+}
+
+// Stop reports whether the chain should abort. It polls the context
+// every cancelStride calls; once the context is done Stop latches true
+// so every downstream operator observes the abort immediately. Nil
+// receivers (operators outside any cancellable execution) never stop.
+//
+// Expired deadlines are detected against the clock, not just via
+// ctx.Err(): a cancelled Err() requires the runtime to have run the
+// context's timer, and on a single-CPU machine a CPU-bound operator
+// loop can starve that timer past its own completion.
+func (c *CancelCheck) Stop() bool {
+	if c == nil || c.ctx == nil {
+		return false
+	}
+	if c.done {
+		return true
+	}
+	c.n++
+	if c.n < cancelStride {
+		return false
+	}
+	c.n = 0
+	if c.ctx.Err() != nil || (c.hasDl && !time.Now().Before(c.deadline)) {
+		c.done = true
+		return true
+	}
+	return false
+}
+
+// Err returns the context's error, nil when the probe never fired or
+// has no context.
+func (c *CancelCheck) Err() error {
+	if c == nil || c.ctx == nil {
+		return nil
+	}
+	return ContextErr(c.ctx)
+}
+
+// ContextErr is ctx.Err() with clock-based deadline detection: it
+// reports context.DeadlineExceeded as soon as the deadline has passed,
+// even if the runtime has not yet fired the context's cancellation
+// timer (which a busy loop on a single CPU can delay indefinitely).
+// Execution paths must use it for their post-drain abort checks, or a
+// cooperatively-stopped chain could be mistaken for a completed one and
+// a truncated top k returned as a success.
+func ContextErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}

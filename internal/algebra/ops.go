@@ -42,6 +42,9 @@ type OpStats struct {
 type ScanOp struct {
 	Ix  *index.Index
 	Tag string
+	// Cancel, when non-nil, lets a context deadline or client
+	// disconnect end the scan early (nil is never checked).
+	Cancel *CancelCheck
 
 	elems []xmldoc.NodeID
 	pos   int
@@ -55,7 +58,7 @@ func (s *ScanOp) Open() {
 }
 
 func (s *ScanOp) Next() (Answer, bool) {
-	if s.pos >= len(s.elems) {
+	if s.pos >= len(s.elems) || s.Cancel.Stop() {
 		return Answer{}, false
 	}
 	e := s.elems[s.pos]
@@ -73,6 +76,9 @@ func (s *ScanOp) Stats() OpStats { return s.stats }
 type ListScanOp struct {
 	Name string
 	IDs  []xmldoc.NodeID
+	// Cancel, when non-nil, lets a context deadline or client
+	// disconnect end the scan early (nil is never checked).
+	Cancel *CancelCheck
 
 	pos   int
 	stats OpStats
@@ -88,7 +94,7 @@ func (s *ListScanOp) Open() {
 }
 
 func (s *ListScanOp) Next() (Answer, bool) {
-	if s.pos >= len(s.IDs) {
+	if s.pos >= len(s.IDs) || s.Cancel.Stop() {
 		return Answer{}, false
 	}
 	e := s.IDs[s.pos]
@@ -146,6 +152,11 @@ func (o *UnitFilterOp) Stats() OpStats { return o.stats }
 type RequiredOp struct {
 	In      Operator
 	Matcher *Matcher
+	// Cancel, when non-nil, aborts the per-candidate match loop early:
+	// structural matching is the dominant per-candidate cost, so the
+	// checkpoint here bounds abort latency even when the source's
+	// stride has not elapsed yet.
+	Cancel *CancelCheck
 
 	stats OpStats
 }
@@ -158,7 +169,7 @@ func (o *RequiredOp) Open() {
 func (o *RequiredOp) Next() (Answer, bool) {
 	for {
 		a, ok := o.In.Next()
-		if !ok {
+		if !ok || o.Cancel.Stop() {
 			return Answer{}, false
 		}
 		o.stats.In++

@@ -41,6 +41,10 @@ type TopKPruneOp struct {
 	// (S for ModeS, K for ModeKVS, K+S for ModeBlend); the V-first modes
 	// rank by a partial order that a single float cannot bound.
 	Shared *SharedBound
+	// Cancel, when non-nil, aborts the prune loop early — the loop can
+	// consume arbitrarily many candidates without emitting one, so it
+	// needs its own checkpoint for bounded abort latency.
+	Cancel *CancelCheck
 
 	list  []Answer
 	done  bool
@@ -70,7 +74,7 @@ func (o *TopKPruneOp) Next() (Answer, bool) {
 			return Answer{}, false
 		}
 		a, ok := o.In.Next()
-		if !ok {
+		if !ok || o.Cancel.Stop() {
 			return Answer{}, false
 		}
 		o.stats.In++
@@ -127,6 +131,17 @@ func (o *TopKPruneOp) consider(a Answer) bool {
 	return true
 }
 
+// sharedEps pads the shared-bound comparison against floating-point
+// association error. The published threshold is a fully-accumulated
+// scalar (bonuses added one KOROp at a time), while a candidate's
+// maximal reachable value is "partial scalar + remaining-bound sum" —
+// the same real quantity evaluated in a different association order,
+// which can land a few ulps below it. An answer that exactly ties the
+// global k-th must survive to the deterministic merge, so the prune
+// only fires when the candidate is below the bound by more than any
+// plausible accumulated rounding error. Pruning less is always sound.
+const sharedEps = 1e-9
+
 // sharedPrune drops a candidate whose maximal reachable primary scalar
 // is strictly below the cross-partition bound. A candidate strictly
 // below the bound has at least k answers ranked strictly above it in
@@ -138,7 +153,7 @@ func (o *TopKPruneOp) sharedPrune(a *Answer) bool {
 	if o.Shared == nil {
 		return false
 	}
-	t := o.Shared.Load()
+	t := o.Shared.Load() - sharedEps
 	switch o.Mode {
 	case ModeS:
 		return a.S+o.SBound < t

@@ -12,6 +12,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -90,6 +91,16 @@ func (c *Corpus) Document(name string) (*xmldoc.Document, bool) {
 	return d, ok
 }
 
+// Index returns the prebuilt index of a document by name, so callers
+// layering per-document engines over a corpus (e.g. the serving layer)
+// can reuse it instead of re-indexing.
+func (c *Corpus) Index(name string) (*index.Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ix, ok := c.idx[name]
+	return ix, ok
+}
+
 // Result is one globally ranked answer.
 type Result struct {
 	DocName string
@@ -112,10 +123,21 @@ type Response struct {
 // independent), evaluates it against every document in parallel, and
 // merges the per-document top-k lists into the global top k.
 func (c *Corpus) Search(q *tpq.Query, prof *profile.Profile, k int, strat plan.Strategy) (*Response, error) {
+	return c.SearchContext(context.Background(), q, prof, k, strat)
+}
+
+// SearchContext is Search under a context: per-document executions
+// carry cancellation checkpoints, documents whose turn comes after the
+// context is done are skipped outright, and a cancelled fan-out returns
+// ctx's error instead of a partial merge.
+func (c *Corpus) SearchContext(ctx context.Context, q *tpq.Query, prof *profile.Profile, k int, strat plan.Strategy) (*Response, error) {
 	if q == nil {
 		return nil, fmt.Errorf("corpus: nil query")
 	}
-	if k <= 0 {
+	if k < 0 {
+		return nil, fmt.Errorf("corpus: negative k %d (use 0 for the default of 10)", k)
+	}
+	if k == 0 {
 		k = 10
 	}
 	start := time.Now()
@@ -161,6 +183,9 @@ func (c *Corpus) Search(q *tpq.Query, prof *profile.Profile, k int, strat plan.S
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if algebra.ContextErr(ctx) != nil {
+				return // fan-out aborted before this document's turn
+			}
 			p, err := plan.Build(idx[name], encoded, prof, k, strat)
 			if err != nil {
 				errMu.Lock()
@@ -170,7 +195,10 @@ func (c *Corpus) Search(q *tpq.Query, prof *profile.Profile, k int, strat plan.S
 				errMu.Unlock()
 				return
 			}
-			answers := p.Execute()
+			answers, err := p.ExecuteContext(ctx)
+			if err != nil {
+				return // ctx.Err() is reported once below, not per document
+			}
 			hitMu.Lock()
 			for _, a := range answers {
 				hits = append(hits, docHit{doc: name, a: a})
@@ -179,6 +207,9 @@ func (c *Corpus) Search(q *tpq.Query, prof *profile.Profile, k int, strat plan.S
 		}(name)
 	}
 	wg.Wait()
+	if err := algebra.ContextErr(ctx); err != nil {
+		return nil, err
+	}
 	if runErr != nil {
 		return nil, runErr
 	}

@@ -1,0 +1,146 @@
+// Cache key canonicalization. A personalized search is a pure function
+// of (document + index configuration, query, profile, evaluation
+// options); the serving layer's result cache (internal/server) keys on
+// a canonical string of exactly those inputs, so two requests collide
+// iff they are guaranteed to produce identical ranked answers and
+// identical response metadata.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/xmldoc"
+)
+
+// Fingerprint returns a stable hash of everything engine-side that can
+// change a response: the document's full serialized content, the text
+// pipeline configuration (stemming/stopwords change tokenization and
+// hence matching), and the active scorer. It is computed once per
+// engine and cached; two engines over byte-identical documents with the
+// same configuration share a fingerprint, so a result cache survives an
+// engine rebuild or a process restart.
+func (e *Engine) Fingerprint() string {
+	e.fpOnce.Do(func() {
+		h := sha256.New()
+		pipe := e.ix.Pipeline()
+		fmt.Fprintf(h, "pipe:stem=%t,stop=%t;scorer=%s;doc:",
+			pipe.Stem, pipe.DropStopwords, e.ix.ScorerName())
+		// Hash the node arena directly rather than a serialized XML
+		// string: same content sensitivity, but no multi-megabyte
+		// allocation. Every field is length- or kind-prefixed so distinct
+		// documents cannot collide by concatenation.
+		var num [4]byte
+		writeStr := func(s string) {
+			num[0] = byte(len(s))
+			num[1] = byte(len(s) >> 8)
+			num[2] = byte(len(s) >> 16)
+			num[3] = byte(len(s) >> 24)
+			h.Write(num[:])
+			h.Write([]byte(s))
+		}
+		e.doc.Walk(func(id xmldoc.NodeID) bool {
+			n := e.doc.Node(id)
+			h.Write([]byte{byte(n.Kind)})
+			writeStr(n.Tag)
+			writeStr(n.Text)
+			num[0] = byte(len(n.Attrs))
+			h.Write(num[:1])
+			for _, a := range n.Attrs {
+				writeStr(a.Name)
+				writeStr(a.Value)
+			}
+			return true
+		})
+		e.fp = hex.EncodeToString(h.Sum(nil)[:16])
+	})
+	return e.fp
+}
+
+// CacheKey returns the canonical cache key for the request against a
+// document with the given fingerprint. Every request field that can
+// influence the response is folded in: the query's canonical string
+// form, the profile's canonical serialization, the resolved K, the
+// strategy, and the literal-rewrite / twig-access / parallelism flags
+// (parallelism never changes the ranked answers, but it changes the
+// response's Workers and Stats metadata, so it is part of the key to
+// keep cached responses byte-faithful).
+func (req *Request) CacheKey(fingerprint string) string {
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	var sb strings.Builder
+	sb.Grow(256)
+	fmt.Fprintf(&sb, "doc=%s\x1fq=%s\x1fk=%d\x1fstrat=%s\x1flit=%t\x1ftwig=%t\x1fpar=%d",
+		fingerprint, req.Query.String(), k, req.Strategy, req.LiteralRewrite,
+		req.TwigAccess, req.Parallelism)
+	sb.WriteString("\x1fprof=")
+	sb.WriteString(CanonicalProfile(req.Profile))
+	if req.Thesaurus != nil && req.Thesaurus.Len() > 0 {
+		w := req.ThesaurusWeight
+		if w == 0 {
+			w = 0.5
+		}
+		fmt.Fprintf(&sb, "\x1fth@%g=%s", w, canonicalThesaurus(req.Thesaurus))
+	}
+	return sb.String()
+}
+
+// CanonicalProfile serializes a profile deterministically: rules in
+// declaration order with their priorities and weights, named partial
+// orders sorted by name with their full edge sets, and the rank order.
+// Two profiles with the same canonical form rank every answer list
+// identically. A nil profile canonicalizes to "-".
+func CanonicalProfile(p *profile.Profile) string {
+	if p == nil {
+		return "-"
+	}
+	var sb strings.Builder
+	for _, sr := range p.SRs {
+		fmt.Fprintf(&sb, "sr{%s;prio=%d;w=%g}", sr, sr.Priority, sr.Weight)
+	}
+	for _, v := range p.VORs {
+		fmt.Fprintf(&sb, "vor{%s;prio=%d}", v, v.Priority)
+	}
+	for _, kor := range p.KORs {
+		fmt.Fprintf(&sb, "kor{%s;prio=%d;w=%g}", kor, kor.Priority, kor.Weight)
+	}
+	names := make([]string, 0, len(p.Orders))
+	for name := range p.Orders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		po := p.Orders[name]
+		vals := po.Values()
+		sort.Strings(vals)
+		fmt.Fprintf(&sb, "order{%s:", name)
+		for _, a := range vals {
+			for _, b := range vals {
+				if a != b && po.Prefers(a, b) {
+					fmt.Fprintf(&sb, "%s<%s;", a, b)
+				}
+			}
+		}
+		sb.WriteString("}")
+	}
+	fmt.Fprintf(&sb, "rank=%s", p.Rank)
+	return sb.String()
+}
+
+// canonicalThesaurus serializes a thesaurus as sorted phrase → synonym
+// lists (Phrases is already sorted; synonym order matters to expansion
+// order, so it is preserved).
+func canonicalThesaurus(t *text.Thesaurus) string {
+	var sb strings.Builder
+	for _, p := range t.Phrases() {
+		fmt.Fprintf(&sb, "%s=%s;", p, strings.Join(t.Synonyms(p), ","))
+	}
+	return sb.String()
+}

@@ -6,9 +6,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 	"unicode/utf8"
 
@@ -26,11 +28,21 @@ import (
 type Engine struct {
 	doc *xmldoc.Document
 	ix  *index.Index
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // New indexes doc under the given text pipeline and returns an engine.
 func New(doc *xmldoc.Document, pipe text.Pipeline) *Engine {
 	return &Engine{doc: doc, ix: index.Build(doc, pipe)}
+}
+
+// FromParts wraps an already-built (document, index) pair without
+// re-indexing — the constructor the serving layer uses to put an engine
+// on top of a corpus entry.
+func FromParts(doc *xmldoc.Document, ix *index.Index) *Engine {
+	return &Engine{doc: doc, ix: ix}
 }
 
 // FromXML parses and indexes an XML document.
@@ -52,7 +64,10 @@ func (e *Engine) Index() *index.Index { return e.ix }
 type Request struct {
 	Query   *tpq.Query
 	Profile *profile.Profile // nil disables personalization
-	K       int              // result size; defaults to 10
+	// K is the result size; 0 defaults to 10, negative values are
+	// rejected (an explicitly negative K is a caller bug, not a request
+	// for the default).
+	K int
 	// Strategy selects the physical plan; defaults to Push (the paper's
 	// winner).
 	Strategy plan.Strategy
@@ -93,6 +108,9 @@ type Response struct {
 	TotalPruned  int
 	Workers      int // plan-execution workers (1 = sequential)
 	Elapsed      time.Duration
+	// Cached is true when this response was served from a result cache
+	// (see internal/server.ResultCache) instead of a fresh execution.
+	Cached bool
 }
 
 // Search personalizes and evaluates the request. It fails when the
@@ -100,11 +118,22 @@ type Response struct {
 // to resolve ambiguity with priorities before the profile is enforced)
 // or when its scoping rules have unresolvable conflict cycles.
 func (e *Engine) Search(req Request) (*Response, error) {
+	return e.SearchContext(context.Background(), req)
+}
+
+// SearchContext is Search under a context: when ctx is cancelled or its
+// deadline expires, plan execution aborts cooperatively (scan, match and
+// prune loops all carry checkpoints) and SearchContext returns ctx's
+// error — never a silently truncated top k.
+func (e *Engine) SearchContext(ctx context.Context, req Request) (*Response, error) {
 	if req.Query == nil {
 		return nil, fmt.Errorf("engine: nil query")
 	}
+	if req.K < 0 {
+		return nil, fmt.Errorf("engine: negative K %d (use 0 or omit K for the default of 10)", req.K)
+	}
 	k := req.K
-	if k <= 0 {
+	if k == 0 {
 		k = 10
 	}
 	strat := req.Strategy // plan.Default resolves to Push inside Build
@@ -120,7 +149,7 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		}
 		var err error
 		if req.LiteralRewrite {
-			return e.literalFlockSearch(req, k, strat, start)
+			return e.literalFlockSearch(ctx, req, k, strat, start)
 		}
 		q, applied, err = analysis.EncodeFlock(req.Profile.SRs, req.Query)
 		if err != nil {
@@ -143,7 +172,10 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	answers := p.Execute()
+	answers, err := p.ExecuteContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 
 	resp := &Response{
 		EncodedQuery: q,
@@ -161,7 +193,7 @@ func (e *Engine) Search(req Request) (*Response, error) {
 // literalFlockSearch evaluates every query of the flock separately and
 // merges results (rewritten-query answers get a rank bonus per flock
 // position). It exists to validate the single-plan encoding.
-func (e *Engine) literalFlockSearch(req Request, k int, strat plan.Strategy, start time.Time) (*Response, error) {
+func (e *Engine) literalFlockSearch(ctx context.Context, req Request, k int, strat plan.Strategy, start time.Time) (*Response, error) {
 	flock, applied, err := analysis.Flock(req.Profile.SRs, req.Query)
 	if err != nil {
 		return nil, err
@@ -176,7 +208,11 @@ func (e *Engine) literalFlockSearch(req Request, k int, strat plan.Strategy, sta
 		if err != nil {
 			return nil, err
 		}
-		for _, a := range p.Execute() {
+		answers, err := p.ExecuteContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range answers {
 			bonus := float64(pos) // later flock members are more personalized
 			if cur, ok := best[a.Node]; !ok || a.S+bonus > cur.a.S+cur.bonus {
 				best[a.Node] = scored{a: a, bonus: bonus}

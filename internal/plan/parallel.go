@@ -19,6 +19,7 @@
 package plan
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -59,8 +60,11 @@ func (p *Plan) effectiveWorkers() int {
 }
 
 // executeParallel runs the plan as w scan-partitioned workers and
-// k-merges their results deterministically.
-func (p *Plan) executeParallel(w int) []algebra.Answer {
+// k-merges their results deterministically. Each worker carries its own
+// cancellation probe bound to ctx, so a deadline or client disconnect
+// aborts every partition cooperatively instead of burning w workers on
+// a result nobody is waiting for.
+func (p *Plan) executeParallel(ctx context.Context, w int) ([]algebra.Answer, error) {
 	ids := p.sourceIDs
 	shared := algebra.NewSharedBound()
 	type workerOut struct {
@@ -75,7 +79,7 @@ func (p *Plan) executeParallel(w int) []algebra.Answer {
 		go func(i int, part []xmldoc.NodeID) {
 			defer wg.Done()
 			src := &algebra.ListScanOp{Name: p.sourceName, IDs: part}
-			ops, final := p.buildChain(src, shared)
+			ops, final := p.buildChain(src, shared, algebra.NewCancelCheck(ctx))
 			root := ops[len(ops)-1]
 			root.Open()
 			for {
@@ -92,6 +96,13 @@ func (p *Plan) executeParallel(w int) []algebra.Answer {
 	}
 	wg.Wait()
 	p.lastWorkers = w
+	if err := algebra.ContextErr(ctx); err != nil {
+		// At least one worker may have stopped mid-partition; its top-k
+		// list is not a sound summary of its partition, so the merge
+		// below would be a silently truncated answer. Report the abort.
+		p.parStats = nil
+		return nil, err
+	}
 
 	// Position-wise stats merge: worker chains are built by the same
 	// buildChain call sequence, so operator j means the same thing in
@@ -124,5 +135,5 @@ func (p *Plan) executeParallel(w int) []algebra.Answer {
 	if len(all) > p.K {
 		all = all[:p.K]
 	}
-	return all
+	return all, nil
 }

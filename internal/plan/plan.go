@@ -7,6 +7,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algebra"
@@ -81,6 +82,10 @@ type Plan struct {
 	root  algebra.Operator
 	final *algebra.TopKPruneOp
 	ops   []algebra.Operator
+	// cancel is the sequential chain's cancellation probe; it is rebound
+	// to the caller's context by each ExecuteContext. Parallel workers
+	// build their own probes.
+	cancel *algebra.CancelCheck
 
 	parStats    []algebra.OpStats // merged worker stats of a parallel Execute
 	lastWorkers int               // workers used by the most recent Execute
@@ -100,6 +105,10 @@ type Options struct {
 	// (clamped to the candidate count). Results are identical at every
 	// setting; see DESIGN.md "Parallel execution".
 	Parallelism int
+	// Context, when non-nil, is the default execution context: Execute
+	// aborts cooperatively once it is cancelled or past its deadline.
+	// ExecuteContext overrides it per call.
+	Context context.Context
 }
 
 // Build compiles a (possibly profile-encoded) query into a physical plan.
@@ -143,7 +152,8 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 	// index's phrase/df/max-score caches for every (tag, phrase) pair the
 	// query and profile can probe, so per-candidate evaluation — and the
 	// per-worker rebuilds of a parallel Execute — hit read-only snapshots.
-	p.ops, p.final = p.buildChain(src, nil)
+	p.cancel = algebra.NewCancelCheck(nil)
+	p.ops, p.final = p.buildChain(src, nil, p.cancel)
 	p.root = p.ops[len(p.ops)-1]
 	return p, nil
 }
@@ -152,11 +162,20 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 // operator. Every call creates its own Matcher (matchers reuse scratch
 // buffers and are not safe for concurrent use); shared is non-nil only
 // for the workers of a parallel Execute, which exchange their top-k
-// thresholds through it.
-func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]algebra.Operator, *algebra.TopKPruneOp) {
+// thresholds through it. cancel is the chain's cancellation probe,
+// threaded into the scan, match and prune loops (the places a
+// cooperative abort must interrupt; see DESIGN.md §10).
+func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound, cancel *algebra.CancelCheck) ([]algebra.Operator, *algebra.TopKPruneOp) {
 	ix, q, prof, k := p.ix, p.q, p.prof, p.K
 	strat, mode, ranker := p.Strategy, p.Mode, p.ranker
 	m := algebra.NewMatcher(ix, q)
+
+	switch s := src.(type) {
+	case *algebra.ScanOp:
+		s.Cancel = cancel
+	case *algebra.ListScanOp:
+		s.Cancel = cancel
+	}
 
 	var ops []algebra.Operator
 	push := func(op algebra.Operator) algebra.Operator {
@@ -170,7 +189,7 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]
 			op = push(&algebra.UnitFilterOp{In: op, Matcher: m, Units: units})
 		}
 	} else {
-		op = push(&algebra.RequiredOp{In: op, Matcher: m})
+		op = push(&algebra.RequiredOp{In: op, Matcher: m, Cancel: cancel})
 	}
 
 	// Score-contributing keyword joins, required first. For PushDeep,
@@ -202,7 +221,7 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]
 		if strat == PushDeep && len(ops) > 2 {
 			op = push(&algebra.TopKPruneOp{
 				In: op, K: k, Mode: mode, Ranker: ranker,
-				SBound: remS, KorBound: totalK, Shared: shared,
+				SBound: remS, KorBound: totalK, Shared: shared, Cancel: cancel,
 			})
 		}
 		op = push(&algebra.FTOp{In: op, Matcher: m, Unit: u})
@@ -224,7 +243,7 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]
 			// KORs' maximal scores (Section 6.3's Plan 2 description).
 			op = push(&algebra.TopKPruneOp{
 				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
-				Shared: shared,
+				Shared: shared, Cancel: cancel,
 			})
 		}
 		op = push(&algebra.KOROp{In: op, Ix: ix, Kor: kor})
@@ -236,13 +255,13 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]
 		case InterleaveNoSort:
 			op = push(&algebra.TopKPruneOp{
 				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
-				Shared: shared,
+				Shared: shared, Cancel: cancel,
 			})
 		case InterleaveSort:
 			op = push(&algebra.SortOp{In: op, Ranker: ranker, Mode: mode})
 			op = push(&algebra.TopKPruneOp{
 				In: op, K: k, Mode: mode, Ranker: ranker, KorBound: remK,
-				SortedInput: true, Shared: shared,
+				SortedInput: true, Shared: shared, Cancel: cancel,
 			})
 		}
 		if (strat == Push || strat == PushDeep) && i == len(kors)-1 {
@@ -250,7 +269,7 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]
 			// (kor-scorebound 0), so the final sort sees a k-sized stream
 			// instead of every candidate.
 			op = push(&algebra.TopKPruneOp{
-				In: op, K: k, Mode: mode, Ranker: ranker, Shared: shared,
+				In: op, K: k, Mode: mode, Ranker: ranker, Shared: shared, Cancel: cancel,
 			})
 		}
 	}
@@ -259,7 +278,7 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]
 	op = push(&algebra.SortOp{In: op, Ranker: ranker, Mode: mode})
 	final := &algebra.TopKPruneOp{
 		In: op, K: k, Mode: mode, Ranker: ranker, SortedInput: true,
-		Shared: shared,
+		Shared: shared, Cancel: cancel,
 	}
 	push(final)
 
@@ -270,19 +289,42 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound) ([]
 // best first. With Options.Parallelism != 1 (and enough candidates) the
 // access path is partitioned across workers; the answer list is
 // identical to the sequential path's at every parallelism level.
+// Cancellation of Options.Context surfaces as a truncated result here;
+// use ExecuteContext to distinguish aborts from completions.
 func (p *Plan) Execute() []algebra.Answer {
+	ctx := p.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	answers, _ := p.ExecuteContext(ctx)
+	return answers
+}
+
+// ExecuteContext runs the plan under ctx and returns the top-k answers,
+// best first. When ctx is cancelled or its deadline expires, the scan,
+// match and prune loops abort cooperatively (within a bounded number of
+// candidates) and ExecuteContext returns ctx's error with a nil answer
+// list — never a silently truncated top k.
+func (p *Plan) ExecuteContext(ctx context.Context) ([]algebra.Answer, error) {
+	if err := algebra.ContextErr(ctx); err != nil {
+		return nil, err
+	}
 	if w := p.effectiveWorkers(); w > 1 {
-		return p.executeParallel(w)
+		return p.executeParallel(ctx, w)
 	}
 	p.parStats = nil
 	p.lastWorkers = 1
+	p.cancel.Reset(ctx)
 	p.root.Open()
 	for {
 		if _, ok := p.root.Next(); !ok {
 			break
 		}
 	}
-	return p.final.TopK()
+	if err := algebra.ContextErr(ctx); err != nil {
+		return nil, err
+	}
+	return p.final.TopK(), nil
 }
 
 // Workers reports how many workers the most recent Execute used
@@ -316,12 +358,15 @@ func (p *Plan) TotalPruned() int {
 
 // String renders the plan shape for diagnostics.
 func (p *Plan) String() string {
+	// Go through Stats(): after a parallel execution the sequential chain
+	// was never opened (its operator names are empty), but the merged
+	// worker stats carry the names.
 	s := ""
-	for i, op := range p.ops {
+	for i, st := range p.Stats() {
 		if i > 0 {
 			s += " -> "
 		}
-		s += op.Stats().Name
+		s += st.Name
 	}
 	return s
 }

@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/index"
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/xmark"
+)
+
+// TestParallelSharedBoundTie is a regression test for a parallel-only
+// pruning bug: on this workload the global top-5 has two answers whose
+// K scalars tie exactly at the k-th boundary, and the losing worker's
+// intermediate prune used to drop its candidate because its
+// "partial K + remaining kor-scorebound" estimate landed one ulp below
+// the threshold the other worker published from fully-accumulated K
+// values (same real quantity, different floating-point association).
+// Concurrent executions vary the publish/prune interleaving enough to
+// surface the drop; every run must still match the sequential answer.
+func TestParallelSharedBoundTie(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-megabyte workload skipped in -short mode")
+	}
+	doc := xmark.GenerateSized(xmark.Config{Seed: 7}, 4*1024*1024)
+	ix := index.Build(doc, text.Pipeline{})
+	q, err := tpq.Parse(`//person(*)[.//business[. ftcontains "Yes"]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phrases := []string{"male", "United States", "College", "Phoenix"}
+	var sb strings.Builder
+	for i, ph := range phrases {
+		fmt.Fprintf(&sb,
+			"kor pi%d priority %d: x.tag = person & y.tag = person & ftcontains(x, %q) => x < y\n",
+			i+1, i+1, ph)
+	}
+	sb.WriteString("vor pi5: x.tag = person & y.tag = person & x.age = 33 & y.age != 33 => x < y\n")
+	sb.WriteString("rank K,V,S\n")
+	prof, err := profile.ParseProfile(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq, err := BuildWith(ix, q, prof, 5, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Execute()
+
+	for iter := 0; iter < 6; iter++ {
+		const concurrent = 6
+		results := make([][]algebra.Answer, concurrent)
+		var wg sync.WaitGroup
+		for g := 0; g < concurrent; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				p, err := BuildWith(ix, q, prof, 5, Options{Parallelism: 2})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[g] = p.Execute()
+			}(g)
+		}
+		wg.Wait()
+		for g := 0; g < concurrent; g++ {
+			assertSameRanking(t, want, results[g], fmt.Sprintf("iter=%d g=%d", iter, g))
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Result caching for the serving layer: a fixed-capacity LRU with
+// single-flight admission.
+//
+// Personalization makes caching unusually valuable: every profile
+// rewrites every query into a flock, so the same (document, query,
+// profile, options) tuple re-executes the same multi-operator plan on
+// every repeat — and personalized home-page-style queries repeat a lot.
+// The cache is keyed by engine.Request.CacheKey (document fingerprint +
+// canonical query + canonical profile + resolved options), so a hit is
+// guaranteed byte-identical to a cold execution.
+//
+// Single-flight: when a thundering herd of identical requests arrives,
+// exactly one (the leader) executes; the rest (followers) block on the
+// leader's completion and share its result. A leader's *error* is never
+// shared — a follower whose leader failed (e.g. the leader's own
+// deadline expired first) retries and may become the next leader, so a
+// follower with a healthy context is never poisoned by a sick one.
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Outcome says how a ResultCache.Do call obtained its value.
+type Outcome uint8
+
+const (
+	// Miss: this call executed the fill function (it was the leader).
+	Miss Outcome = iota
+	// Hit: the value was already cached.
+	Hit
+	// Coalesced: an in-flight leader's execution was shared.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "miss"
+}
+
+// CacheStats is a snapshot of the cache's counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress fill: followers wait on done, then read
+// val/err (the close of done publishes them).
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// ResultCache is the LRU + single-flight combination. Values are opaque
+// (the serving layer stores marshaled response payloads; the library
+// layer stores *engine.Response) and MUST be treated as immutable once
+// stored — hits share the stored value.
+type ResultCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	flight map[string]*flight
+
+	hits, misses, coalesced, evictions int64
+}
+
+// NewResultCache returns a cache holding up to capacity entries
+// (minimum 1).
+func NewResultCache(capacity int) *ResultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ResultCache{
+		cap:    capacity,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+		flight: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached value for key, or executes fill (once across
+// all concurrent callers of the same key) and caches its result.
+// Errors are returned to the leader and any followers already waiting,
+// but never cached. A follower abandons the wait when ctx is done and
+// returns ctx's error.
+func (c *ResultCache) Do(ctx context.Context, key string, fill func() (any, error)) (any, Outcome, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			v := el.Value.(*cacheEntry).val
+			c.hits++
+			c.mu.Unlock()
+			return v, Hit, nil
+		}
+		if fl, ok := c.flight[key]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.err == nil {
+					return fl.val, Coalesced, nil
+				}
+				// The leader failed. Its error may be all about the
+				// leader (its deadline, its disconnect), so retry with
+				// our own context rather than inherit it.
+				if ctx.Err() != nil {
+					return nil, Coalesced, ctx.Err()
+				}
+				continue
+			case <-ctx.Done():
+				return nil, Coalesced, ctx.Err()
+			}
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.flight[key] = fl
+		c.misses++
+		c.mu.Unlock()
+
+		val, err := fill()
+
+		c.mu.Lock()
+		delete(c.flight, key)
+		if err == nil {
+			c.putLocked(key, val)
+		}
+		c.mu.Unlock()
+		fl.val, fl.err = val, err
+		close(fl.done)
+		return val, Miss, err
+	}
+}
+
+// Get returns the cached value for key without filling.
+func (c *ResultCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).val, true
+}
+
+// putLocked inserts or refreshes key; callers hold c.mu.
+func (c *ResultCache) putLocked(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every cached entry (in-flight fills are unaffected).
+func (c *ResultCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}

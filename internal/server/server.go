@@ -1,0 +1,617 @@
+// Package server is PIMENTO's query serving layer: an HTTP JSON API
+// over a registry of indexed documents, with per-request deadlines
+// plumbed down into plan-operator loops, an LRU result cache with
+// single-flight admission, and per-endpoint counters.
+//
+// Endpoints:
+//
+//	POST /search  — personalized search over one document or a fan-out
+//	                across the whole registry (doc "" or "*")
+//	POST /explain — the Section 5 static analyses for (query, profile)
+//	GET  /healthz — liveness plus document count
+//	GET  /statsz  — request/cache/timeout counters
+//
+// See DESIGN.md §10 for the cache key anatomy, the cancellation
+// checkpoints and the single-flight semantics.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// maxBodyBytes bounds a request body; anything larger is a 4xx, not an
+// allocation.
+const maxBodyBytes = 1 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// Pipeline is the text pipeline documents are indexed under.
+	Pipeline text.Pipeline
+	// CacheSize is the result cache capacity in entries (default 512).
+	CacheSize int
+	// DefaultTimeout bounds every request that does not carry its own
+	// timeout_ms; 0 means no server-side deadline (client disconnects
+	// still cancel).
+	DefaultTimeout time.Duration
+	// MaxK caps the per-request result size (default 10000) so a
+	// hostile K cannot force giant allocations.
+	MaxK int
+}
+
+// Server serves personalized XML search over a registry of documents.
+type Server struct {
+	cfg Config
+	reg *corpus.Corpus
+
+	mu      sync.RWMutex
+	engines map[string]*engine.Engine // lazily layered over registry indexes
+
+	cache *ResultCache
+	mux   *http.ServeMux
+
+	stats serverStats
+}
+
+// serverStats is the counter block behind /statsz. All fields are
+// atomics: handlers bump them concurrently.
+type serverStats struct {
+	searchRequests  atomic.Int64
+	explainRequests atomic.Int64
+	healthRequests  atomic.Int64
+	statsRequests   atomic.Int64
+	errors4xx       atomic.Int64
+	errors5xx       atomic.Int64
+	timeouts        atomic.Int64
+	canceled        atomic.Int64
+	inFlight        atomic.Int64
+}
+
+// New returns an empty server; add documents with Add/AddXML.
+func New(cfg Config) *Server {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 512
+	}
+	if cfg.MaxK == 0 {
+		cfg.MaxK = 10000
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     corpus.New(cfg.Pipeline),
+		engines: make(map[string]*engine.Engine),
+		cache:   NewResultCache(cfg.CacheSize),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux = mux
+	return s
+}
+
+// Add indexes doc under name (replacing any previous document with that
+// name; its engine and any cached results keyed by its fingerprint
+// become unreachable and age out of the LRU). The engine wrapper and
+// its content fingerprint are built here, at registration time, so the
+// first search request never pays a document-sized hashing cost inside
+// its deadline.
+func (s *Server) Add(name string, doc *xmldoc.Document) {
+	s.reg.Add(name, doc)
+	ix, _ := s.reg.Index(name)
+	e := engine.FromParts(doc, ix)
+	e.Fingerprint()
+	s.mu.Lock()
+	s.engines[name] = e
+	s.mu.Unlock()
+}
+
+// AddXML parses src and adds it under name.
+func (s *Server) AddXML(name, src string) error {
+	doc, err := xmldoc.ParseString(src)
+	if err != nil {
+		return fmt.Errorf("server: %s: %w", name, err)
+	}
+	s.Add(name, doc)
+	return nil
+}
+
+// Docs returns the registered document names.
+func (s *Server) Docs() []string { return s.reg.Names() }
+
+// Cache exposes the result cache (for stats and tests).
+func (s *Server) Cache() *ResultCache { return s.cache }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// engineFor returns the engine of a registered document. Add builds
+// engines (and their fingerprints) eagerly, so this is a pure lookup.
+func (s *Server) engineFor(name string) (*engine.Engine, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.engines[name]
+	return e, ok
+}
+
+// registryFingerprint combines every document's fingerprint into the
+// cache-key fingerprint of a fan-out search (sorted by name, so the
+// insertion order of documents does not split the cache).
+func (s *Server) registryFingerprint() (string, error) {
+	names := s.reg.Names()
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		e, ok := s.engineFor(n)
+		if !ok {
+			return "", fmt.Errorf("server: document %q vanished", n)
+		}
+		fmt.Fprintf(h, "%s=%s;", n, e.Fingerprint())
+	}
+	return "corpus:" + hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// --- request / response wire types ---
+
+// SearchRequest is the /search body.
+type SearchRequest struct {
+	// Doc selects a registered document; "" or "*" fans the query out
+	// across the whole registry.
+	Doc string `json:"doc"`
+	// Query is the tree-pattern query source; Keywords is the
+	// content-only alternative (exactly one must be set).
+	Query    string `json:"query"`
+	Keywords string `json:"keywords"`
+	// Profile is the profile DSL source ("" disables personalization).
+	Profile string `json:"profile"`
+	K       int    `json:"k"`
+	// Strategy: "" (push) | naive | interleave | interleave-sort |
+	// push | push-deep.
+	Strategy    string `json:"strategy"`
+	Parallelism int    `json:"parallelism"`
+	Twig        bool   `json:"twig"`
+	Literal     bool   `json:"literal"`
+	// TimeoutMS bounds this request; it can only tighten the server's
+	// DefaultTimeout, never extend it.
+	TimeoutMS int `json:"timeout_ms"`
+	// NoCache bypasses the result cache (the request neither reads nor
+	// populates it).
+	NoCache bool `json:"no_cache"`
+}
+
+// SearchResult is one ranked answer on the wire.
+type SearchResult struct {
+	Doc     string  `json:"doc,omitempty"`
+	Node    uint32  `json:"node"`
+	Path    string  `json:"path"`
+	S       float64 `json:"s"`
+	K       float64 `json:"k"`
+	Snippet string  `json:"snippet,omitempty"`
+}
+
+// SearchResponse is the /search payload. Cached responses are
+// byte-identical to the original execution's payload; the X-Cache
+// header (MISS / HIT / COALESCED) carries the per-request cache
+// outcome instead of a body field.
+type SearchResponse struct {
+	Results      []SearchResult `json:"results"`
+	K            int            `json:"k"`
+	Strategy     string         `json:"strategy"`
+	AppliedSRs   []string       `json:"applied_srs,omitempty"`
+	PlanShape    string         `json:"plan,omitempty"`
+	Workers      int            `json:"workers,omitempty"`
+	TotalPruned  int            `json:"total_pruned,omitempty"`
+	DocsSearched int            `json:"docs_searched"`
+	ElapsedUS    int64          `json:"elapsed_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"` // parse | not_found | timeout | canceled | engine
+}
+
+// --- handlers ---
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.stats.searchRequests.Add(1)
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+
+	var sreq SearchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sreq); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parse", fmt.Errorf("bad request body: %w", err))
+		return
+	}
+
+	req, status, err := s.buildEngineRequest(&sreq)
+	if err != nil {
+		kind := "parse"
+		if status == http.StatusNotFound {
+			kind = "not_found"
+		}
+		s.writeError(w, status, kind, err)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, sreq.TimeoutMS)
+	defer cancel()
+
+	fill := func() (any, error) { return s.execute(ctx, &sreq, req) }
+
+	var payload any
+	if sreq.NoCache {
+		// Bypass, not a miss: the cache is neither consulted nor filled,
+		// so no X-Cache header is set.
+		payload, err = fill()
+	} else {
+		key, kerr := s.cacheKey(&sreq, req)
+		if kerr != nil {
+			s.writeError(w, http.StatusNotFound, "not_found", kerr)
+			return
+		}
+		var outcome Outcome
+		payload, outcome, err = s.cache.Do(ctx, key, fill)
+		if err == nil {
+			w.Header().Set("X-Cache", strings.ToUpper(outcome.String()))
+		}
+	}
+	if err != nil {
+		s.writeSearchError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload.([]byte))
+}
+
+// buildEngineRequest validates and compiles the wire request into an
+// engine request. It returns the HTTP status to use on error.
+func (s *Server) buildEngineRequest(sreq *SearchRequest) (engine.Request, int, error) {
+	var req engine.Request
+	if (sreq.Query == "") == (sreq.Keywords == "") {
+		return req, http.StatusBadRequest, errors.New("exactly one of query or keywords must be set")
+	}
+	if sreq.K < 0 {
+		return req, http.StatusBadRequest, fmt.Errorf("negative k %d", sreq.K)
+	}
+	if sreq.K > s.cfg.MaxK {
+		return req, http.StatusBadRequest, fmt.Errorf("k %d exceeds the maximum of %d", sreq.K, s.cfg.MaxK)
+	}
+	if sreq.Parallelism < 0 || sreq.Parallelism > 1024 {
+		return req, http.StatusBadRequest, fmt.Errorf("parallelism %d out of range [0,1024]", sreq.Parallelism)
+	}
+	var err error
+	if sreq.Query != "" {
+		req.Query, err = tpq.Parse(sreq.Query)
+	} else {
+		req.Query, err = keywordQuery(sreq.Keywords)
+	}
+	if err != nil {
+		return req, http.StatusBadRequest, err
+	}
+	if sreq.Profile != "" {
+		req.Profile, err = profile.ParseProfile(sreq.Profile)
+		if err != nil {
+			return req, http.StatusBadRequest, err
+		}
+	}
+	req.Strategy, err = parseStrategy(sreq.Strategy)
+	if err != nil {
+		return req, http.StatusBadRequest, err
+	}
+	req.K = sreq.K
+	req.Parallelism = sreq.Parallelism
+	req.TwigAccess = sreq.Twig
+	req.LiteralRewrite = sreq.Literal
+
+	if !s.fanout(sreq) {
+		if _, ok := s.reg.Document(sreq.Doc); !ok {
+			return req, http.StatusNotFound, fmt.Errorf("unknown document %q", sreq.Doc)
+		}
+	} else if s.reg.Len() == 0 {
+		return req, http.StatusNotFound, errors.New("no documents registered")
+	}
+	return req, 0, nil
+}
+
+// fanout reports whether the request targets the whole registry.
+func (s *Server) fanout(sreq *SearchRequest) bool {
+	return sreq.Doc == "" || sreq.Doc == "*"
+}
+
+// cacheKey derives the canonical result-cache key for the request.
+func (s *Server) cacheKey(sreq *SearchRequest, req engine.Request) (string, error) {
+	if s.fanout(sreq) {
+		fp, err := s.registryFingerprint()
+		if err != nil {
+			return "", err
+		}
+		return req.CacheKey(fp), nil
+	}
+	e, ok := s.engineFor(sreq.Doc)
+	if !ok {
+		return "", fmt.Errorf("unknown document %q", sreq.Doc)
+	}
+	return req.CacheKey(e.Fingerprint()), nil
+}
+
+// execute runs the search (single document or fan-out) and marshals the
+// response payload. The payload bytes are what the cache stores, so
+// repeated identical requests are byte-identical.
+func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Request) ([]byte, error) {
+	var sresp SearchResponse
+	if s.fanout(sreq) {
+		// Fan-out searches do not support the per-engine extras.
+		if sreq.Twig || sreq.Literal {
+			return nil, &badRequestError{errors.New("twig and literal are single-document options")}
+		}
+		resp, err := s.reg.SearchContext(ctx, req.Query, req.Profile, req.K, req.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		sresp = SearchResponse{
+			Results:      make([]SearchResult, 0, len(resp.Results)),
+			K:            resolveK(req.K),
+			Strategy:     req.Strategy.String(),
+			AppliedSRs:   resp.AppliedSRs,
+			DocsSearched: resp.DocsSearched,
+			ElapsedUS:    resp.Elapsed.Microseconds(),
+		}
+		for _, res := range resp.Results {
+			sresp.Results = append(sresp.Results, SearchResult{
+				Doc: res.DocName, Node: uint32(res.Node), Path: res.Path,
+				S: res.S, K: res.K, Snippet: res.Snippet,
+			})
+		}
+	} else {
+		e, ok := s.engineFor(sreq.Doc)
+		if !ok {
+			return nil, &badRequestError{fmt.Errorf("unknown document %q", sreq.Doc)}
+		}
+		resp, err := e.SearchContext(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		sresp = SearchResponse{
+			Results:      make([]SearchResult, 0, len(resp.Results)),
+			K:            resolveK(req.K),
+			Strategy:     req.Strategy.String(),
+			AppliedSRs:   resp.AppliedSRs,
+			PlanShape:    resp.PlanShape,
+			Workers:      resp.Workers,
+			TotalPruned:  resp.TotalPruned,
+			DocsSearched: 1,
+			ElapsedUS:    resp.Elapsed.Microseconds(),
+		}
+		for _, res := range resp.Results {
+			sresp.Results = append(sresp.Results, SearchResult{
+				Doc: sreq.Doc, Node: uint32(res.Node), Path: res.Path,
+				S: res.S, K: res.K, Snippet: res.Snippet,
+			})
+		}
+	}
+	return json.Marshal(&sresp)
+}
+
+// ExplainRequest is the /explain body.
+type ExplainRequest struct {
+	Query   string `json:"query"`
+	Profile string `json:"profile"`
+}
+
+// ExplainResponse reports the Section 5 static analyses.
+type ExplainResponse struct {
+	Ambiguous   bool     `json:"ambiguous"`
+	Cycle       []string `json:"cycle,omitempty"`
+	Suggestion  string   `json:"suggestion,omitempty"`
+	ConflictErr string   `json:"conflict_error,omitempty"`
+	Applied     []string `json:"applied_srs,omitempty"`
+	Flock       []string `json:"flock,omitempty"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.stats.explainRequests.Add(1)
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+
+	var ereq ExplainRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&ereq); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parse", fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if ereq.Query == "" || ereq.Profile == "" {
+		s.writeError(w, http.StatusBadRequest, "parse", errors.New("query and profile are required"))
+		return
+	}
+	q, err := tpq.Parse(ereq.Query)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "parse", err)
+		return
+	}
+	prof, err := profile.ParseProfile(ereq.Profile)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "parse", err)
+		return
+	}
+	pa := engine.AnalyzeProfile(prof, q)
+	eresp := ExplainResponse{
+		Ambiguous:  pa.Ambiguity.Ambiguous,
+		Cycle:      pa.Ambiguity.Cycle,
+		Suggestion: pa.Ambiguity.Suggestion,
+		Applied:    pa.Applied,
+	}
+	if pa.ConflictErr != nil {
+		eresp.ConflictErr = pa.ConflictErr.Error()
+	}
+	for _, fq := range pa.Flock {
+		eresp.Flock = append(eresp.Flock, fq.String())
+	}
+	s.writeJSON(w, http.StatusOK, &eresp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.stats.healthRequests.Add(1)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"docs":   s.reg.Len(),
+	})
+}
+
+// Statsz is the /statsz payload.
+type Statsz struct {
+	Docs      int              `json:"docs"`
+	Endpoints map[string]int64 `json:"endpoints"`
+	Errors4xx int64            `json:"errors_4xx"`
+	Errors5xx int64            `json:"errors_5xx"`
+	Timeouts  int64            `json:"timeouts"`
+	Canceled  int64            `json:"canceled"`
+	InFlight  int64            `json:"in_flight"`
+	Cache     CacheStats       `json:"cache"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.stats.statsRequests.Add(1)
+	s.writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// Snapshot returns the current counters (the /statsz payload).
+func (s *Server) Snapshot() Statsz {
+	return Statsz{
+		Docs: s.reg.Len(),
+		Endpoints: map[string]int64{
+			"search":  s.stats.searchRequests.Load(),
+			"explain": s.stats.explainRequests.Load(),
+			"healthz": s.stats.healthRequests.Load(),
+			"statsz":  s.stats.statsRequests.Load(),
+		},
+		Errors4xx: s.stats.errors4xx.Load(),
+		Errors5xx: s.stats.errors5xx.Load(),
+		Timeouts:  s.stats.timeouts.Load(),
+		Canceled:  s.stats.canceled.Load(),
+		InFlight:  s.stats.inFlight.Load(),
+		Cache:     s.cache.Stats(),
+	}
+}
+
+// --- plumbing ---
+
+// requestContext derives the execution context: the client's context
+// (cancelled on disconnect) bounded by the tighter of the server
+// default timeout and the request's timeout_ms.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		rd := time.Duration(timeoutMS) * time.Millisecond
+		if d == 0 || rd < d {
+			d = rd
+		}
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
+// badRequestError marks an error discovered during execution that is
+// nonetheless the client's fault.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// writeSearchError classifies an execution error: deadline → 504,
+// client cancel → 499 (nginx's convention), client mistakes → 400,
+// anything else the engine reports → 500.
+func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.stats.timeouts.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, "timeout", err)
+	case errors.Is(err, context.Canceled):
+		s.stats.canceled.Add(1)
+		// 499: the client went away; the write is best-effort.
+		s.writeError(w, 499, "canceled", err)
+	case errors.As(err, &bad):
+		s.writeError(w, http.StatusBadRequest, "parse", err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "engine", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, kind string, err error) {
+	if status >= 500 {
+		s.stats.errors5xx.Add(1)
+	} else if status >= 400 {
+		s.stats.errors4xx.Add(1)
+	}
+	s.writeJSON(w, status, &errorResponse{Error: err.Error(), Kind: kind})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// resolveK mirrors the engine's K default.
+func resolveK(k int) int {
+	if k == 0 {
+		return 10
+	}
+	return k
+}
+
+// parseStrategy maps the wire strategy names onto plan strategies,
+// mirroring cmd/pimento's flag values.
+func parseStrategy(s string) (plan.Strategy, error) {
+	switch s {
+	case "", "push", "default":
+		return plan.Push, nil
+	case "naive":
+		return plan.Naive, nil
+	case "interleave", "interleave-nosort":
+		return plan.InterleaveNoSort, nil
+	case "interleave-sort":
+		return plan.InterleaveSort, nil
+	case "push-deep":
+		return plan.PushDeep, nil
+	}
+	return plan.Default, fmt.Errorf("unknown strategy %q", s)
+}
+
+// keywordQuery builds the content-only query form (any element whose
+// subtree contains every phrase).
+func keywordQuery(keywords string) (*tpq.Query, error) {
+	if strings.TrimSpace(keywords) == "" {
+		return nil, errors.New("empty keywords")
+	}
+	q := tpq.NewQuery("*", tpq.Descendant)
+	q.Nodes[0].FT = append(q.Nodes[0].FT, tpq.FTPred{Phrase: keywords})
+	return q, nil
+}

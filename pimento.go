@@ -25,15 +25,18 @@
 package pimento
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/plan"
 	"repro/internal/profile"
+	"repro/internal/server"
 	"repro/internal/text"
 	"repro/internal/tpq"
 	"repro/internal/xmldoc"
@@ -109,6 +112,9 @@ func MustParseProfile(src string) *Profile { return profile.MustParseProfile(src
 // Engine answers personalized queries over one indexed XML document.
 type Engine struct {
 	e *engine.Engine
+	// cache, when non-nil (WithCache), answers repeated identical
+	// searches from an LRU with single-flight deduplication.
+	cache *server.ResultCache
 }
 
 // Options configure Open* and Search.
@@ -122,6 +128,8 @@ type options struct {
 	thesaurus *text.Thesaurus
 	thWeight  float64
 	scorer    index.Scorer
+	cacheSize int
+	deadline  time.Duration
 }
 
 // Option customizes engine construction or a search.
@@ -196,6 +204,21 @@ func Boolean() Scorer { return index.BooleanScorer{} }
 // (it has no effect as a Search option).
 func WithScorer(s Scorer) Option { return func(o *options) { o.scorer = s } }
 
+// WithCache enables an engine-level result cache of n entries at
+// construction time (it has no effect as a Search option). Repeated
+// identical (query, profile, options) searches are answered from the
+// cache — the response is marked Cached and is identical to a cold
+// execution — and concurrent identical searches execute only once
+// (single-flight). n <= 0 disables caching.
+func WithCache(n int) Option { return func(o *options) { o.cacheSize = n } }
+
+// WithDeadline bounds one Search call: when the deadline expires before
+// evaluation finishes, the plan's operator loops abort cooperatively
+// and Search returns context.DeadlineExceeded — never a silently
+// truncated answer list. Use SearchContext to plumb an existing
+// context instead.
+func WithDeadline(d time.Duration) Option { return func(o *options) { o.deadline = d } }
+
 func collect(opts []Option) options {
 	o := options{pipeline: text.DefaultPipeline}
 	for _, f := range opts {
@@ -214,7 +237,15 @@ func Open(r io.Reader, opts ...Option) (*Engine, error) {
 	if o.scorer != nil {
 		e.Index().SetScorer(o.scorer)
 	}
-	return &Engine{e: e}, nil
+	return &Engine{e: e, cache: newCache(o)}, nil
+}
+
+// newCache builds the optional engine-level result cache.
+func newCache(o options) *server.ResultCache {
+	if o.cacheSize <= 0 {
+		return nil
+	}
+	return server.NewResultCache(o.cacheSize)
 }
 
 // OpenString indexes an XML document held in a string.
@@ -233,7 +264,7 @@ func OpenDocument(doc *Document, opts ...Option) *Engine {
 	if o.scorer != nil {
 		e.Index().SetScorer(o.scorer)
 	}
-	return &Engine{e: e}
+	return &Engine{e: e, cache: newCache(o)}
 }
 
 // Document returns the engine's parsed document.
@@ -242,8 +273,22 @@ func (e *Engine) Document() *Document { return e.e.Document() }
 // Search evaluates q personalized by prof (nil disables personalization)
 // and returns the top-k answers ranked by the profile's rank order.
 func (e *Engine) Search(q *Query, prof *Profile, opts ...Option) (*Response, error) {
+	return e.SearchContext(context.Background(), q, prof, opts...)
+}
+
+// SearchContext is Search under a context: when ctx (or the WithDeadline
+// option) expires, evaluation aborts cooperatively and SearchContext
+// returns the context's error instead of a truncated answer list.
+// Responses served from a WithCache cache are shared: treat them as
+// read-only.
+func (e *Engine) SearchContext(ctx context.Context, q *Query, prof *Profile, opts ...Option) (*Response, error) {
 	o := collect(opts)
-	return e.e.Search(engine.Request{
+	if o.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.deadline)
+		defer cancel()
+	}
+	req := engine.Request{
 		Query:           q,
 		Profile:         prof,
 		K:               o.k,
@@ -253,7 +298,24 @@ func (e *Engine) Search(q *Query, prof *Profile, opts ...Option) (*Response, err
 		Parallelism:     o.par,
 		Thesaurus:       o.thesaurus,
 		ThesaurusWeight: o.thWeight,
+	}
+	if e.cache == nil || q == nil || o.k < 0 {
+		return e.e.SearchContext(ctx, req)
+	}
+	key := req.CacheKey(e.e.Fingerprint())
+	v, outcome, err := e.cache.Do(ctx, key, func() (any, error) {
+		return e.e.SearchContext(ctx, req)
 	})
+	if err != nil {
+		return nil, err
+	}
+	resp := v.(*engine.Response)
+	if outcome != server.Miss {
+		hit := *resp // shallow copy so the stored response stays unmarked
+		hit.Cached = true
+		return &hit, nil
+	}
+	return resp, nil
 }
 
 // Analyze runs the paper's Section 5 static analyses (scoping-rule
@@ -319,12 +381,20 @@ func LoadCorpus(r io.Reader) (*Corpus, error) {
 }
 
 // Search personalizes q with prof and evaluates it against every
-// document, returning the global top k.
+// document, returning the global top k. Negative WithK values are
+// rejected; 0 (the default) resolves to 10.
 func (c *Corpus) Search(q *Query, prof *Profile, opts ...Option) (*CorpusResponse, error) {
+	return c.SearchContext(context.Background(), q, prof, opts...)
+}
+
+// SearchContext is Corpus.Search under a context: the per-document
+// fan-out aborts cooperatively when ctx is done (see WithDeadline).
+func (c *Corpus) SearchContext(ctx context.Context, q *Query, prof *Profile, opts ...Option) (*CorpusResponse, error) {
 	o := collect(opts)
-	k := o.k
-	if k <= 0 {
-		k = 10
+	if o.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.deadline)
+		defer cancel()
 	}
-	return c.c.Search(q, prof, k, o.strategy)
+	return c.c.SearchContext(ctx, q, prof, o.k, o.strategy)
 }

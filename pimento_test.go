@@ -2,8 +2,11 @@ package pimento
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/workload"
 )
@@ -275,5 +278,66 @@ func TestKeywordQueryCO(t *testing.T) {
 	}
 	if _, err := KeywordQuery("  "); err == nil {
 		t.Errorf("blank phrase must fail")
+	}
+}
+
+func TestPublicAPICacheAndDeadline(t *testing.T) {
+	eng, err := OpenString(workload.Fig1XML, WithCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`//car[price < 2000]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := eng.Search(q, nil, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Error("first search marked Cached")
+	}
+	hit, err := eng.Search(q, nil, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error("repeat search not marked Cached")
+	}
+	if len(hit.Results) != len(cold.Results) {
+		t.Fatalf("cached answer has %d results, cold had %d", len(hit.Results), len(cold.Results))
+	}
+	for i := range hit.Results {
+		if hit.Results[i] != cold.Results[i] {
+			t.Errorf("result %d diverged: %+v vs %+v", i, hit.Results[i], cold.Results[i])
+		}
+	}
+
+	// A different K is a different cache key.
+	other, err := eng.Search(q, nil, WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("different-K search served from cache")
+	}
+
+	// An explicitly negative K is rejected, cache or no cache.
+	if _, err := eng.Search(q, nil, WithK(-2)); err == nil {
+		t.Error("negative K accepted")
+	}
+
+	// An immediately-expiring deadline aborts instead of answering. A
+	// cached request would be answered anyway (a hit costs nothing), so
+	// use a K no earlier search has populated.
+	if _, err := eng.Search(q, nil, WithK(7), WithDeadline(time.Nanosecond)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline search err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// The cached answer for the original request is still there.
+	again, err := eng.Search(q, nil, WithK(3))
+	if err != nil || !again.Cached {
+		t.Errorf("after deadline abort: err = %v, Cached = %v; want cached answer", err, again.Cached)
 	}
 }
