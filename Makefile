@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel
+.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel metrics-lint profile
 
-ci: fmt-check vet build test race smoke cover
+ci: fmt-check vet build test race smoke cover metrics-lint
 
 fmt-check:
 	@files="$$(gofmt -l .)"; \
@@ -60,6 +60,20 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParseProfile -fuzztime $(FUZZTIME) -run '^$$' ./internal/profile/
 	$(GO) test -fuzz FuzzSearchHandler -fuzztime $(FUZZTIME) -run '^$$' ./internal/server/
 
+# Metrics hygiene: the /metrics exposition must parse cleanly and every
+# label value must come from a compile-time-enumerable set (no dynamic
+# cardinality minted from request content). See DESIGN.md §11.
+metrics-lint:
+	$(GO) test -run 'TestMetricsEndpoint|TestMetricsLabelLint|TestExpositionFormat' \
+		./internal/server/ ./internal/metrics/ -count=1
+
 # Regenerates BENCH_parallel.json (BENCHTIME=5s for stable numbers).
 bench-parallel:
 	scripts/bench_parallel.sh
+
+# Profiles pimentod under a Fig. 7-style workload: starts the daemon
+# with pprof enabled on -debug-addr, drives repeated personalized
+# searches against a generated XMark document, and saves CPU/heap
+# profiles next to the script's output directory.
+profile:
+	scripts/profile.sh

@@ -75,6 +75,10 @@ func main() {
 		rows := experiments.RunFig6(cfg)
 		fmt.Println("== Fig. 6 (measured) ==")
 		fmt.Println(experiments.FormatFig6(rows))
+		if last := rows[len(rows)-1]; len(last.Ops) > 0 {
+			fmt.Println(experiments.FormatOpBreakdown(
+				fmt.Sprintf("Push plan, %s, %d KORs", last.SizeLabel, last.NumKORs), last.Ops))
+		}
 		return nil
 	})
 
@@ -87,6 +91,18 @@ func main() {
 		rows := experiments.RunFig7(cfg)
 		fmt.Println("== Fig. 7 (measured) ==")
 		fmt.Println(experiments.FormatFig7(rows))
+		maxKOR := 0
+		for _, r := range rows {
+			if r.NumKORs > maxKOR {
+				maxKOR = r.NumKORs
+			}
+		}
+		for _, r := range rows {
+			if r.NumKORs == maxKOR && len(r.Ops) > 0 {
+				fmt.Println(experiments.FormatOpBreakdown(
+					fmt.Sprintf("%s, %d KORs", r.Strategy, r.NumKORs), r.Ops))
+			}
+		}
 		return nil
 	})
 

@@ -8,10 +8,13 @@
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/statsz
 //
-// Endpoints: POST /search, POST /explain, GET /healthz, GET /statsz.
+// Endpoints: POST /search, POST /explain, GET /healthz, GET /statsz,
+// GET /metrics (Prometheus text exposition).
 // Per-request deadlines come from the request's timeout_ms field,
 // bounded by -timeout; repeated identical requests are answered from a
-// single-flight LRU result cache. SIGINT/SIGTERM drain in-flight
+// single-flight LRU result cache. -slow-query enables the slow-query
+// log; -debug-addr serves net/http/pprof on a separate listener for
+// profiling (see `make profile`). SIGINT/SIGTERM drain in-flight
 // requests before exit (graceful shutdown).
 package main
 
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -51,6 +55,8 @@ func main() {
 	cacheSize := flag.Int("cache", 512, "result cache capacity in entries")
 	stem := flag.Bool("stem", true, "apply Porter stemming while indexing")
 	stopwords := flag.Bool("stopwords", false, "drop English stopwords while indexing")
+	slowQuery := flag.Duration("slow-query", 0, "log queries at least this slow, with plan and per-operator stats (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
 	if len(docs) == 0 && *xmarkSize == "" {
@@ -60,10 +66,12 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Pipeline:       text.Pipeline{Stem: *stem, DropStopwords: *stopwords},
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
+		Pipeline:           text.Pipeline{Stem: *stem, DropStopwords: *stopwords},
+		CacheSize:          *cacheSize,
+		DefaultTimeout:     *timeout,
+		SlowQueryThreshold: *slowQuery,
 	})
+	defer srv.Close()
 
 	for _, spec := range docs {
 		name, path, ok := strings.Cut(spec, "=")
@@ -98,6 +106,25 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The pprof listener is deliberately separate from the serving
+	// address: profiles stay off the public API surface, and a wedged
+	// serving mux cannot take the debug endpoints down with it.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *debugAddr)
+			ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests (their

@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"sort"
+	"strings"
 
 	"repro/internal/index"
 	"repro/internal/profile"
@@ -35,6 +36,23 @@ type OpStats struct {
 	In     int // answers consumed
 	Out    int // answers emitted
 	Pruned int // answers dropped
+	// WallNS is cumulative wall-clock nanoseconds spent inside this
+	// operator's Open and Next calls, *inclusive* of its upstream chain
+	// (a pull-based Next recurses into its input). Self time is
+	// WallNS minus the input operator's WallNS. Zero unless the chain
+	// was built with timing enabled (see WithTiming / plan.Options).
+	WallNS int64
+}
+
+// Kind returns the operator's stable kind — its name up to the first
+// parenthesis ("ftjoin(best bid)" → "ftjoin"). Kinds form a small,
+// compile-time-enumerable set, which makes them safe metric label
+// values where full names (carrying tags and phrases) are not.
+func (s OpStats) Kind() string {
+	if i := strings.IndexByte(s.Name, '('); i >= 0 {
+		return s.Name[:i]
+	}
+	return s.Name
 }
 
 // ScanOp emits every element with the distinguished tag, in document

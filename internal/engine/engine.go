@@ -17,6 +17,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/analysis"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/profile"
 	"repro/internal/text"
@@ -87,6 +88,11 @@ type Request struct {
 	// with optional synonym predicates at ThesaurusWeight (default 0.5).
 	Thesaurus       *text.Thesaurus
 	ThesaurusWeight float64
+	// Timing enables per-operator wall-time collection (OpStats.WallNS)
+	// at the cost of two clock reads per operator pull. The serving
+	// layer sets it so /metrics and the slow-query log can attribute
+	// time inside the plan; library callers default to the bare chain.
+	Timing bool
 }
 
 // Result is one ranked answer.
@@ -108,6 +114,11 @@ type Response struct {
 	TotalPruned  int
 	Workers      int // plan-execution workers (1 = sequential)
 	Elapsed      time.Duration
+	// Trace is the pipeline trace: one span per personalization stage
+	// (analyze → rewrite → build → execute → rank), offsets relative to
+	// the start of SearchContext. Always recorded — five clock pairs
+	// per request are noise next to plan execution.
+	Trace []metrics.Span
 	// Cached is true when this response was served from a result cache
 	// (see internal/server.ResultCache) instead of a fresh execution.
 	Cached bool
@@ -139,44 +150,55 @@ func (e *Engine) SearchContext(ctx context.Context, req Request) (*Response, err
 	strat := req.Strategy // plan.Default resolves to Push inside Build
 
 	start := time.Now()
+	tr := metrics.NewTrace()
 	q := req.Query
 	var applied []string
 	if req.Profile != nil {
+		endAnalyze := tr.Start("analyze")
 		if rep := analysis.DetectAmbiguityPrioritized(req.Profile.VORs); rep.Ambiguous {
 			return nil, fmt.Errorf(
 				"engine: ambiguous value-based ordering rules (cycle %v): %s",
 				rep.Cycle, rep.Suggestion)
 		}
-		var err error
 		if req.LiteralRewrite {
 			return e.literalFlockSearch(ctx, req, k, strat, start)
 		}
+		var err error
 		q, applied, err = analysis.EncodeFlock(req.Profile.SRs, req.Query)
+		endAnalyze()
 		if err != nil {
 			return nil, err
 		}
 	}
 	if req.Thesaurus != nil && req.Thesaurus.Len() > 0 {
+		endRewrite := tr.Start("rewrite")
 		w := req.ThesaurusWeight
 		if w == 0 {
 			w = 0.5
 		}
 		q = q.ExpandPhrases(req.Thesaurus.Synonyms, w)
+		endRewrite()
 	}
 
+	endBuild := tr.Start("build")
 	p, err := plan.BuildWith(e.ix, q, req.Profile, k, plan.Options{
 		Strategy:    strat,
 		TwigAccess:  req.TwigAccess,
 		Parallelism: req.Parallelism,
+		Timing:      req.Timing,
 	})
+	endBuild()
 	if err != nil {
 		return nil, err
 	}
+	endExecute := tr.Start("execute")
 	answers, err := p.ExecuteContext(ctx)
+	endExecute()
 	if err != nil {
 		return nil, err
 	}
 
+	endRank := tr.Start("rank")
 	resp := &Response{
 		EncodedQuery: q,
 		AppliedSRs:   applied,
@@ -184,9 +206,11 @@ func (e *Engine) SearchContext(ctx context.Context, req Request) (*Response, err
 		Stats:        p.Stats(),
 		TotalPruned:  p.TotalPruned(),
 		Workers:      p.Workers(),
-		Elapsed:      time.Since(start),
 	}
 	resp.Results = e.materialize(answers)
+	endRank()
+	resp.Trace = tr.Spans()
+	resp.Elapsed = time.Since(start)
 	return resp, nil
 }
 
@@ -294,16 +318,27 @@ type ProfileAnalysis struct {
 	Ambiguity   analysis.AmbiguityReport
 	Flock       []*tpq.Query
 	Applied     []string
+	// Trace spans the analysis stages (conflicts → ambiguity → flock),
+	// the /explain half of the pipeline trace.
+	Trace []metrics.Span
 }
 
 // AnalyzeProfile reports rule applicability, conflicts, the application
 // order, the resulting flock, and VOR ambiguity.
 func AnalyzeProfile(prof *profile.Profile, q *tpq.Query) *ProfileAnalysis {
 	pa := &ProfileAnalysis{}
+	tr := metrics.NewTrace()
+	end := tr.Start("conflicts")
 	pa.Conflicts, pa.ConflictErr = analysis.AnalyzeSRs(prof.SRs, q)
+	end()
+	end = tr.Start("ambiguity")
 	pa.Ambiguity = analysis.DetectAmbiguityPrioritized(prof.VORs)
+	end()
 	if pa.ConflictErr == nil {
+		end = tr.Start("flock")
 		pa.Flock, pa.Applied, _ = analysis.Flock(prof.SRs, q)
+		end()
 	}
+	pa.Trace = tr.Spans()
 	return pa
 }

@@ -29,6 +29,56 @@ type Fig6Row struct {
 	Time      time.Duration
 	Pruned    int
 	Answers   int // matching candidates (query selectivity context)
+	// Ops is the per-operator time breakdown of one profiled execution
+	// (a separate run with plan timing enabled, so the best-of-trials
+	// wall time above stays free of clock-read overhead). It is the
+	// same OpStats.WallNS data /metrics and the slow-query log consume.
+	Ops []OpTime
+}
+
+// OpTime is one operator kind's share of a profiled execution: self
+// time (inclusive wall time minus the upstream operator's) plus the
+// answer traffic, aggregated over operators of the same kind.
+type OpTime struct {
+	Kind   string
+	Self   time.Duration
+	In     int
+	Out    int
+	Pruned int
+}
+
+// opBreakdown converts a timed chain's inclusive WallNS measurements
+// into per-kind self times. Stats arrive in chain order (source
+// first), each operator's wall time including its upstream, so self
+// time is the adjacent difference — clamped at zero against scheduler
+// noise in parallel merges.
+func opBreakdown(stats []algebra.OpStats) []OpTime {
+	var order []string
+	byKind := map[string]*OpTime{}
+	var prev int64
+	for _, s := range stats {
+		self := s.WallNS - prev
+		prev = s.WallNS
+		if self < 0 {
+			self = 0
+		}
+		k := s.Kind()
+		o := byKind[k]
+		if o == nil {
+			o = &OpTime{Kind: k}
+			byKind[k] = o
+			order = append(order, k)
+		}
+		o.Self += time.Duration(self)
+		o.In += s.In
+		o.Out += s.Out
+		o.Pruned += s.Pruned
+	}
+	out := make([]OpTime, len(order))
+	for i, k := range order {
+		out[i] = *byKind[k]
+	}
+	return out
 }
 
 // Fig6Config tunes the Fig. 6 sweep; zero values give the paper's setup.
@@ -89,6 +139,7 @@ type Fig7Row struct {
 	Time     time.Duration
 	Pruned   int
 	Answers  int
+	Ops      []OpTime // per-operator breakdown (see Fig6Row.Ops)
 }
 
 // Fig7Config tunes the Fig. 7 comparison.
@@ -132,7 +183,7 @@ func RunFig7(cfg Fig7Config) []Fig7Row {
 				plan.Options{Strategy: strat, Parallelism: cfg.Parallelism}, cfg.K, cfg.Trials)
 			rows = append(rows, Fig7Row{
 				Strategy: strat, NumKORs: n,
-				Time: r.Time, Pruned: r.Pruned, Answers: r.Answers,
+				Time: r.Time, Pruned: r.Pruned, Answers: r.Answers, Ops: r.Ops,
 			})
 		}
 	}
@@ -160,7 +211,34 @@ func timePlanOpts(ix *index.Index, prof *profile.Profile, opts plan.Options, k, 
 		pruned = p.TotalPruned()
 		answers = len(res)
 	}
-	return Fig6Row{Time: best, Pruned: pruned, Answers: answers}
+
+	// One extra profiled execution with operator timing enabled — kept
+	// out of the timed trials so the two clock reads per pull never
+	// skew the reported wall time.
+	profiled := opts
+	profiled.Timing = true
+	var ops []OpTime
+	if p, err := plan.BuildWith(ix, q, prof, k, profiled); err == nil {
+		p.Execute()
+		ops = opBreakdown(p.Stats())
+	}
+	return Fig6Row{Time: best, Pruned: pruned, Answers: answers, Ops: ops}
+}
+
+// FormatOpBreakdown renders one row's per-operator profile: where the
+// execution spent its time, kind by kind.
+func FormatOpBreakdown(label string, ops []OpTime) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Operator breakdown — %s\n", label)
+	sb.WriteString("Operator      self(ms)        in       out    pruned\n")
+	var total time.Duration
+	for _, o := range ops {
+		total += o.Self
+		fmt.Fprintf(&sb, "%-12s  %8.3f  %8d  %8d  %8d\n",
+			o.Kind, float64(o.Self.Microseconds())/1000, o.In, o.Out, o.Pruned)
+	}
+	fmt.Fprintf(&sb, "%-12s  %8.3f\n", "total", float64(total.Microseconds())/1000)
+	return sb.String()
 }
 
 // ExtraQueryRow compares Naive and Push on one of Section 7.2's "two

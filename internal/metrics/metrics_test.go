@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "help", Labels{"k": "v"})
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels resolves to the same handle.
+	if r.Counter("t_total", "help", Labels{"k": "v"}) != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+	// Same name, different labels: a distinct series.
+	c2 := r.Counter("t_total", "help", Labels{"k": "w"})
+	if c2 == c {
+		t.Fatal("distinct labels shared a handle")
+	}
+
+	g := r.Gauge("t_gauge", "", nil)
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "", nil)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a{b}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Cumulative buckets: 0.01 catches 0.005 and the boundary value
+	// 0.01 itself (le is an upper *inclusive* bound).
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 2`,
+		`h_seconds_bucket{le="0.1"} 3`,
+		`h_seconds_bucket{le="1"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests served", Labels{"endpoint": "search"}).Add(3)
+	r.Counter("req_total", "requests served", Labels{"endpoint": "explain"}).Add(1)
+	r.Gauge("in_flight", "in-flight requests", nil).Set(2)
+	r.Histogram("lat_seconds", "latency", []float64{0.1}, Labels{"endpoint": "search"}).Observe(0.05)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(sb.String())
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, sb.String())
+	}
+	if fams["req_total"].Type != "counter" || len(fams["req_total"].Samples) != 2 {
+		t.Errorf("req_total = %+v", fams["req_total"])
+	}
+	if fams["in_flight"].Samples[0].Value != 2 {
+		t.Errorf("in_flight = %+v", fams["in_flight"].Samples)
+	}
+	// Rendering twice yields identical output (determinism).
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb.String() != sb2.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestConcurrentUpdatesAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", nil)
+	h := r.Histogram("h_seconds", "", nil, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	// Render concurrently with the writers; must not race or corrupt.
+	for i := 0; i < 10; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("c=%d h=%d, want 8000 each", c.Value(), h.Count())
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace()
+	done := tr.Start("stage_a")
+	time.Sleep(time.Millisecond)
+	done()
+	tr.Start("stage_b")() // zero-length span
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v, want 2", spans)
+	}
+	if spans[0].Name != "stage_a" || spans[0].DurUS < 500 {
+		t.Errorf("stage_a span = %+v, want dur >= 500us", spans[0])
+	}
+	if spans[1].StartUS < spans[0].StartUS {
+		t.Errorf("stage_b starts before stage_a: %+v", spans)
+	}
+	var nilTrace *Trace
+	nilTrace.Start("x")()
+	if nilTrace.Spans() != nil {
+		t.Error("nil trace recorded spans")
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import "time"
+
+// Span is one timed stage of a pipeline trace. Offsets and durations
+// are microseconds relative to the trace's start, which keeps traces
+// compact on the wire and stable to re-marshal.
+type Span struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// Trace records the stages of one pipeline run (analyze → rewrite →
+// plan-build → execute → rank in the engine). It is owned by a single
+// goroutine — the pipeline it traces — and is not safe for concurrent
+// use; the finished span slice may be shared freely.
+type Trace struct {
+	t0    time.Time
+	spans []Span
+}
+
+// NewTrace starts a trace at the current time.
+func NewTrace() *Trace {
+	return &Trace{t0: time.Now()}
+}
+
+// Start opens a span; the returned func closes it. Typical use:
+//
+//	done := tr.Start("execute")
+//	... stage work ...
+//	done()
+func (t *Trace) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		t.spans = append(t.spans, Span{
+			Name:    name,
+			StartUS: start.Sub(t.t0).Microseconds(),
+			DurUS:   time.Since(start).Microseconds(),
+		})
+	}
+}
+
+// Spans returns the recorded spans in completion order. Nil receivers
+// (untraced pipelines) return nil.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}

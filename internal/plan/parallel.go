@@ -106,13 +106,16 @@ func (p *Plan) executeParallel(ctx context.Context, w int) ([]algebra.Answer, er
 
 	// Position-wise stats merge: worker chains are built by the same
 	// buildChain call sequence, so operator j means the same thing in
-	// every worker.
+	// every worker. Counts and wall time are summed — a single worker's
+	// chain would misreport the whole execution's traffic (regression:
+	// TestParallelStatsAggregate).
 	merged := outs[0].stats
 	for _, o := range outs[1:] {
 		for j := range merged {
 			merged[j].In += o.stats[j].In
 			merged[j].Out += o.stats[j].Out
 			merged[j].Pruned += o.stats[j].Pruned
+			merged[j].WallNS += o.stats[j].WallNS
 		}
 	}
 	p.parStats = merged

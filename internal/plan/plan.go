@@ -109,6 +109,11 @@ type Options struct {
 	// aborts cooperatively once it is cancelled or past its deadline.
 	// ExecuteContext overrides it per call.
 	Context context.Context
+	// Timing wraps every operator so Stats() report per-operator wall
+	// time (OpStats.WallNS) at the cost of two clock reads per pull.
+	// The serving layer and the Fig. 6/7 harnesses enable it; the bare
+	// chain stays the default for library callers and benchmarks.
+	Timing bool
 }
 
 // Build compiles a (possibly profile-encoded) query into a physical plan.
@@ -179,6 +184,9 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound, can
 
 	var ops []algebra.Operator
 	push := func(op algebra.Operator) algebra.Operator {
+		if p.opts.Timing {
+			op = algebra.WithTiming(op)
+		}
 		ops = append(ops, op)
 		return op
 	}
@@ -332,8 +340,11 @@ func (p *Plan) ExecuteContext(ctx context.Context) ([]algebra.Answer, error) {
 func (p *Plan) Workers() int { return p.lastWorkers }
 
 // Stats returns per-operator counters, bottom-up. After a parallel
-// Execute the counters are the position-wise sums over all workers
-// (worker chains are structurally identical).
+// Execute the counters — answer counts and, with Options.Timing, wall
+// time — are the position-wise sums over all workers (worker chains
+// are structurally identical). Note that summed WallNS is aggregate
+// busy time across workers, not elapsed wall clock: it can exceed the
+// execution's elapsed time by up to the worker count.
 func (p *Plan) Stats() []algebra.OpStats {
 	if p.parStats != nil {
 		out := make([]algebra.OpStats, len(p.parStats))

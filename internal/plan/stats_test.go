@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/index"
+	"repro/internal/profile"
+	"repro/internal/text"
+	"repro/internal/tpq"
+)
+
+// TestParallelStatsAggregate is the regression for the parallel
+// Plan.Stats contract: after a parallel Execute the per-operator
+// counters must be position-wise *sums over all workers*, not one
+// worker's chain. The deterministic prefix of the plan — everything
+// before the first prune (scan, required, keyword joins, bonus) sees
+// exactly the same answers whether the candidate list is partitioned
+// or not — so those counters must match the sequential run exactly;
+// downstream of the first prune only conservation invariants hold
+// (shared-bound pruning is interleaving-dependent).
+func TestParallelStatsAggregate(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	doc := genDealer(r, 600)
+	ix := index.Build(doc, text.Pipeline{})
+	prof := profile.MustParseProfile(testProfile)
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+
+	seq, err := BuildWith(ix, q, prof, 5, Options{Strategy: Push, Parallelism: 1, Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Execute()
+	seqStats := seq.Stats()
+
+	par, err := BuildWith(ix, q, prof, 5, Options{Strategy: Push, Parallelism: 4, Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Execute()
+	if par.Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", par.Workers())
+	}
+	parStats := par.Stats()
+
+	if len(seqStats) != len(parStats) {
+		t.Fatalf("chain lengths differ: seq %d vs par %d", len(seqStats), len(parStats))
+	}
+	// Same operators in the same order.
+	for i := range seqStats {
+		if seqStats[i].Name != parStats[i].Name {
+			t.Fatalf("op %d: name %q (par) vs %q (seq)", i, parStats[i].Name, seqStats[i].Name)
+		}
+	}
+	// The source must have consumed every candidate exactly once across
+	// partitions — a single worker's chain would report ~1/4 of this.
+	nCars := ix.TagCount("car")
+	if parStats[0].In != nCars || seqStats[0].In != nCars {
+		t.Fatalf("scan consumed par=%d seq=%d candidates, want %d both",
+			parStats[0].In, seqStats[0].In, nCars)
+	}
+	// Deterministic prefix: every operator before the first prune sees
+	// identical traffic in both runs.
+	for i := range seqStats {
+		if parStats[i].Kind() == "topkPrune" {
+			break
+		}
+		if parStats[i].In != seqStats[i].In ||
+			parStats[i].Out != seqStats[i].Out ||
+			parStats[i].Pruned != seqStats[i].Pruned {
+			t.Errorf("op %d (%s): par {in %d out %d pruned %d} != seq {in %d out %d pruned %d}",
+				i, seqStats[i].Name,
+				parStats[i].In, parStats[i].Out, parStats[i].Pruned,
+				seqStats[i].In, seqStats[i].Out, seqStats[i].Pruned)
+		}
+	}
+	checkConservation(t, "seq", seqStats)
+	checkConservation(t, "par", parStats)
+}
+
+// checkConservation asserts per-operator flow invariants that hold in
+// any run: no operator emits or drops more answers than it consumed.
+func checkConservation(t *testing.T, label string, stats []algebra.OpStats) {
+	t.Helper()
+	for i, s := range stats {
+		if s.Out+s.Pruned > s.In {
+			t.Errorf("%s op %d (%s): out %d + pruned %d > in %d",
+				label, i, s.Name, s.Out, s.Pruned, s.In)
+		}
+	}
+}
+
+// TestTimingWallClock pins the WallNS contract: with Options.Timing the
+// chain reports inclusive wall time that is positive at the source and
+// non-decreasing up the chain (each operator's measurement includes its
+// upstream); without it, WallNS stays zero everywhere.
+func TestTimingWallClock(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	doc := genDealer(r, 400)
+	ix := index.Build(doc, text.Pipeline{})
+	prof := profile.MustParseProfile(testProfile)
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+
+	timed, err := BuildWith(ix, q, prof, 5, Options{Strategy: Push, Parallelism: 1, Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed.Execute()
+	stats := timed.Stats()
+	if stats[0].WallNS <= 0 {
+		t.Errorf("timed scan WallNS = %d, want > 0", stats[0].WallNS)
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].WallNS < stats[i-1].WallNS {
+			t.Errorf("inclusive wall time decreased at op %d (%s): %d < %d",
+				i, stats[i].Name, stats[i].WallNS, stats[i-1].WallNS)
+		}
+	}
+
+	bare, err := BuildWith(ix, q, prof, 5, Options{Strategy: Push, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.Execute()
+	for i, s := range bare.Stats() {
+		if s.WallNS != 0 {
+			t.Errorf("untimed op %d (%s) has WallNS %d", i, s.Name, s.WallNS)
+		}
+	}
+
+	// Timing must not change answers.
+	if !sameAnswers(timed.final.TopK(), bare.final.TopK()) {
+		t.Error("timed and untimed executions disagree on answers")
+	}
+}
+
+// TestParallelTimingAggregate: summed worker wall time is still
+// non-decreasing up the chain (the invariant survives position-wise
+// summation) and positive at the source.
+func TestParallelTimingAggregate(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	doc := genDealer(r, 600)
+	ix := index.Build(doc, text.Pipeline{})
+	prof := profile.MustParseProfile(testProfile)
+	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
+	p, err := BuildWith(ix, q, prof, 5, Options{Strategy: Push, Parallelism: 3, Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Execute()
+	if p.Workers() != 3 {
+		t.Fatalf("workers = %d, want 3", p.Workers())
+	}
+	stats := p.Stats()
+	if stats[0].WallNS <= 0 {
+		t.Errorf("merged scan WallNS = %d, want > 0", stats[0].WallNS)
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].WallNS < stats[i-1].WallNS {
+			t.Errorf("merged inclusive wall time decreased at op %d (%s): %d < %d",
+				i, stats[i].Name, stats[i].WallNS, stats[i-1].WallNS)
+		}
+	}
+}

@@ -69,8 +69,8 @@ func TestCacheEquivalenceProperty(t *testing.T) {
 		if got := hdr2.Get("X-Cache"); got != "HIT" {
 			t.Errorf("draw %d (%s): repeat X-Cache = %q, want HIT", draw, id, got)
 		}
-		if !bytes.Equal(body1, body2) {
-			t.Errorf("draw %d (%s): cache hit diverges from first answer\n got %s\nwant %s",
+		if !bytes.Equal(stablePart(t, body1), stablePart(t, body2)) {
+			t.Errorf("draw %d (%s): cached body diverges from first answer\n got %s\nwant %s",
 				draw, id, body2, body1)
 		}
 

@@ -1,0 +1,206 @@
+// Prometheus-style metrics for the serving layer.
+//
+// Every label value used here comes from a compile-time-enumerable set
+// (endpoint names, operator kinds, pipeline stages, error classes,
+// cache outcomes) — never from request content. That keeps the series
+// count bounded no matter what clients send; TestMetricsLabelLint pins
+// the rule by scraping /metrics after a hostile workload and checking
+// every label value against these sets.
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+// opKinds is the static operator-kind label set: every algebra operator
+// folds its display name (which may embed phrases or tags, e.g.
+// "ftjoin(best bid)") down to one of these via OpStats.Kind.
+var opKinds = []string{
+	"scan", "listscan", "twigscan", "required", "unitfilter",
+	"ftjoin", "ftouterjoin", "bonus", "vor", "kor", "topkPrune", "sort",
+}
+
+// stageNames is the pipeline-trace span set recorded by
+// engine.SearchContext.
+var stageNames = []string{"analyze", "rewrite", "build", "execute", "rank"}
+
+// endpointNames is the HTTP endpoint label set.
+var endpointNames = []string{"search", "explain", "healthz", "statsz", "metrics"}
+
+// errorClasses is the error-classification label set (see
+// classifySearchError and writeError).
+var errorClasses = []string{"4xx", "5xx", "timeout", "canceled"}
+
+// cacheOutcomes mirrors server.Outcome.String values.
+var cacheOutcomes = []string{"hit", "miss", "coalesced"}
+
+// answerDirs labels the three OpStats counters.
+var answerDirs = []string{"in", "out", "pruned"}
+
+// serverMetrics owns the registry behind GET /metrics plus
+// preregistered handles for every series the server ever touches.
+// Preregistration does double duty: the hot path never takes the
+// registry's name lookup, and /metrics exposes the full schema (with
+// zero values) from the first scrape.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	requests map[string]*metrics.Counter   // by endpoint
+	latency  map[string]*metrics.Histogram // by endpoint
+	inFlight *metrics.Gauge
+	errors   map[string]*metrics.Counter // by class
+
+	cacheRequests  map[string]*metrics.Counter // by outcome, mirrored at scrape
+	cacheEvictions *metrics.Counter            // mirrored at scrape
+	cacheEntries   *metrics.Gauge
+	cacheCapacity  *metrics.Gauge
+	docs           *metrics.Gauge
+
+	opWall    map[string]*metrics.Counter // by op kind
+	opAnswers map[[2]string]*metrics.Counter
+	stage     map[string]*metrics.Histogram
+
+	slowTotal   *metrics.Counter
+	slowDropped *metrics.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:       reg,
+		requests:  make(map[string]*metrics.Counter, len(endpointNames)),
+		latency:   make(map[string]*metrics.Histogram, len(endpointNames)),
+		errors:    make(map[string]*metrics.Counter, len(errorClasses)),
+		opWall:    make(map[string]*metrics.Counter, len(opKinds)),
+		opAnswers: make(map[[2]string]*metrics.Counter, len(opKinds)*len(answerDirs)),
+		stage:     make(map[string]*metrics.Histogram, len(stageNames)),
+	}
+	for _, ep := range endpointNames {
+		m.requests[ep] = reg.Counter("pimento_http_requests_total",
+			"HTTP requests received, by endpoint.",
+			metrics.Labels{"endpoint": ep})
+		m.latency[ep] = reg.Histogram("pimento_http_request_seconds",
+			"HTTP request latency in seconds, by endpoint.",
+			metrics.DefBuckets, metrics.Labels{"endpoint": ep})
+	}
+	m.inFlight = reg.Gauge("pimento_http_in_flight",
+		"Requests currently being served.", nil)
+	for _, c := range errorClasses {
+		m.errors[c] = reg.Counter("pimento_http_errors_total",
+			"Request errors, by class (4xx, 5xx, timeout, canceled; a timeout also counts as 5xx and a client cancel as 4xx).",
+			metrics.Labels{"class": c})
+	}
+	m.cacheRequests = make(map[string]*metrics.Counter, len(cacheOutcomes))
+	for _, o := range cacheOutcomes {
+		m.cacheRequests[o] = reg.Counter("pimento_cache_requests_total",
+			"Result-cache lookups, by outcome.",
+			metrics.Labels{"outcome": o})
+	}
+	m.cacheEvictions = reg.Counter("pimento_cache_evictions_total",
+		"Result-cache LRU evictions.", nil)
+	m.cacheEntries = reg.Gauge("pimento_cache_entries",
+		"Result-cache entries resident.", nil)
+	m.cacheCapacity = reg.Gauge("pimento_cache_capacity",
+		"Result-cache capacity in entries.", nil)
+	m.docs = reg.Gauge("pimento_docs",
+		"Documents registered.", nil)
+	for _, k := range opKinds {
+		m.opWall[k] = reg.Counter("pimento_plan_operator_wall_nanoseconds_total",
+			"Wall time spent inside plan operators (inclusive of upstream), by operator kind.",
+			metrics.Labels{"op": k})
+		for _, d := range answerDirs {
+			m.opAnswers[[2]string{k, d}] = reg.Counter("pimento_plan_operator_answers_total",
+				"Answers consumed (in), emitted (out) and pruned by plan operators, by operator kind.",
+				metrics.Labels{"op": k, "dir": d})
+		}
+	}
+	for _, st := range stageNames {
+		m.stage[st] = reg.Histogram("pimento_pipeline_stage_seconds",
+			"Personalization pipeline stage latency in seconds (analyze, rewrite, build, execute, rank).",
+			metrics.DefBuckets, metrics.Labels{"stage": st})
+	}
+	m.slowTotal = reg.Counter("pimento_slow_queries_total",
+		"Searches slower than the configured slow-query threshold.", nil)
+	m.slowDropped = reg.Counter("pimento_slow_queries_dropped_total",
+		"Slow-query log entries dropped because the logger could not keep up.", nil)
+	return m
+}
+
+// startRequest records a request's arrival and returns the completion
+// callback that observes its latency. Endpoints outside endpointNames
+// would panic at registration time, so callers pass constants.
+func (m *serverMetrics) startRequest(endpoint string) func() {
+	m.requests[endpoint].Inc()
+	m.inFlight.Add(1)
+	start := time.Now()
+	return func() {
+		m.latency[endpoint].Observe(time.Since(start).Seconds())
+		m.inFlight.Add(-1)
+	}
+}
+
+// recordError folds an HTTP error status into the class counters.
+// 504 is both a timeout and a 5xx; 499 is both a cancel and a 4xx —
+// each dimension counts the request exactly once (regression:
+// TestErrorClassCounters).
+func (m *serverMetrics) recordError(status int) {
+	switch {
+	case status == http.StatusGatewayTimeout:
+		m.errors["timeout"].Inc()
+		m.errors["5xx"].Inc()
+	case status == 499:
+		m.errors["canceled"].Inc()
+		m.errors["4xx"].Inc()
+	case status >= 500:
+		m.errors["5xx"].Inc()
+	case status >= 400:
+		m.errors["4xx"].Inc()
+	}
+}
+
+// recordSearch folds one fresh execution's response into the plan and
+// pipeline metrics. Cache hits and coalesced followers never reach
+// here — their leader already recorded the execution once.
+func (m *serverMetrics) recordSearch(resp *engine.Response) {
+	m.recordPlanStats(resp.Stats)
+	for _, sp := range resp.Trace {
+		if h, ok := m.stage[sp.Name]; ok {
+			h.Observe(float64(sp.DurUS) / 1e6)
+		}
+	}
+}
+
+// recordPlanStats folds per-operator counters by operator kind. The
+// fold is what keeps label cardinality static: operator display names
+// embed query content, kinds do not.
+func (m *serverMetrics) recordPlanStats(stats []algebra.OpStats) {
+	for _, s := range stats {
+		k := s.Kind()
+		if c, ok := m.opWall[k]; ok {
+			c.Add(s.WallNS)
+		}
+		if c, ok := m.opAnswers[[2]string{k, "in"}]; ok {
+			c.Add(int64(s.In))
+			m.opAnswers[[2]string{k, "out"}].Add(int64(s.Out))
+			m.opAnswers[[2]string{k, "pruned"}].Add(int64(s.Pruned))
+		}
+	}
+}
+
+// syncGauges refreshes the scrape-time mirrors: cache counters live in
+// ResultCache (authoritative), document count in the registry. Counter
+// totals are monotone in the source, so Store is safe here.
+func (m *serverMetrics) syncGauges(docs int, cs CacheStats) {
+	m.docs.Set(int64(docs))
+	m.cacheRequests["hit"].Store(cs.Hits)
+	m.cacheRequests["miss"].Store(cs.Misses)
+	m.cacheRequests["coalesced"].Store(cs.Coalesced)
+	m.cacheEvictions.Store(cs.Evictions)
+	m.cacheEntries.Set(int64(cs.Entries))
+	m.cacheCapacity.Set(int64(cs.Capacity))
+}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/profile"
 	"repro/internal/text"
@@ -55,6 +56,14 @@ type Config struct {
 	// MaxK caps the per-request result size (default 10000) so a
 	// hostile K cannot force giant allocations.
 	MaxK int
+	// SlowQueryThreshold enables the slow-query log: any fresh search
+	// execution at least this slow is logged asynchronously with its
+	// query, plan shape and per-operator stats. 0 disables the log (and
+	// its goroutine).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog overrides the slow-query sink (default: the standard
+	// logger). Tests inject a capture function here.
+	SlowQueryLog func(format string, args ...any)
 }
 
 // Server serves personalized XML search over a registry of documents.
@@ -68,7 +77,9 @@ type Server struct {
 	cache *ResultCache
 	mux   *http.ServeMux
 
-	stats serverStats
+	stats   serverStats
+	metrics *serverMetrics
+	slowlog *slowQueryLogger // nil unless Config.SlowQueryThreshold > 0
 }
 
 // serverStats is the counter block behind /statsz. All fields are
@@ -78,6 +89,7 @@ type serverStats struct {
 	explainRequests atomic.Int64
 	healthRequests  atomic.Int64
 	statsRequests   atomic.Int64
+	metricsRequests atomic.Int64
 	errors4xx       atomic.Int64
 	errors5xx       atomic.Int64
 	timeouts        atomic.Int64
@@ -98,14 +110,29 @@ func New(cfg Config) *Server {
 		reg:     corpus.New(cfg.Pipeline),
 		engines: make(map[string]*engine.Engine),
 		cache:   NewResultCache(cfg.CacheSize),
+		metrics: newServerMetrics(),
+	}
+	if cfg.SlowQueryThreshold > 0 {
+		s.slowlog = newSlowQueryLogger(cfg.SlowQueryThreshold, cfg.SlowQueryLog,
+			s.metrics.slowTotal, s.metrics.slowDropped)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", s.handleSearch)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
+}
+
+// Close releases background resources (today: the slow-query logging
+// goroutine). Safe to call more than once; the HTTP handler stays
+// usable but slow queries are no longer logged.
+func (s *Server) Close() {
+	if s.slowlog != nil {
+		s.slowlog.close()
+	}
 }
 
 // Add indexes doc under name (replacing any previous document with that
@@ -207,11 +234,13 @@ type SearchResult struct {
 	Snippet string  `json:"snippet,omitempty"`
 }
 
-// SearchResponse is the /search payload. Cached responses are
-// byte-identical to the original execution's payload; the X-Cache
-// header (MISS / HIT / COALESCED) carries the per-request cache
-// outcome instead of a body field.
-type SearchResponse struct {
+// SearchBody is the cacheable portion of the /search payload: the
+// result of an execution, independent of which request serves it. The
+// cache stores its marshaled bytes, so repeated identical requests get
+// a byte-identical result payload. ExecUS and Trace describe the
+// execution that produced the results — on a cache hit they replay the
+// leader's numbers, which is the truthful reading.
+type SearchBody struct {
 	Results      []SearchResult `json:"results"`
 	K            int            `json:"k"`
 	Strategy     string         `json:"strategy"`
@@ -220,7 +249,43 @@ type SearchResponse struct {
 	Workers      int            `json:"workers,omitempty"`
 	TotalPruned  int            `json:"total_pruned,omitempty"`
 	DocsSearched int            `json:"docs_searched"`
-	ElapsedUS    int64          `json:"elapsed_us"`
+	// ExecUS is the wall time of the execution that produced these
+	// results, in microseconds.
+	ExecUS int64 `json:"exec_us"`
+	// Trace is the pipeline trace of that execution (single-document
+	// searches only).
+	Trace []metrics.Span `json:"trace,omitempty"`
+}
+
+// SearchResponse is the full /search payload: the cacheable body plus
+// two volatile per-request fields the handler splices onto the cached
+// bytes at write time. ElapsedUS is *this request's* serve time — on a
+// cache hit it is the (microsecond-scale) lookup cost, not the
+// original execution's elapsed time, which lives in ExecUS. CacheAgeMS
+// is how long ago the cached execution ran (0 on a miss or bypass).
+// The X-Cache header (MISS / HIT / COALESCED) carries the outcome.
+type SearchResponse struct {
+	SearchBody
+	ElapsedUS  int64 `json:"elapsed_us"`
+	CacheAgeMS int64 `json:"cache_age_ms"`
+}
+
+// cachedSearch is the cache value: the marshaled SearchBody plus the
+// store timestamp the handler needs to compute CacheAgeMS.
+type cachedSearch struct {
+	body     []byte
+	storedAt time.Time
+}
+
+// spliceVolatile turns marshaled SearchBody bytes into a full
+// SearchResponse payload by splicing the per-request fields before the
+// closing brace. Splicing (rather than re-marshaling) keeps the cached
+// portion byte-identical across requests.
+func spliceVolatile(body []byte, elapsedUS, ageMS int64) []byte {
+	out := make([]byte, 0, len(body)+48)
+	out = append(out, body[:len(body)-1]...)
+	out = append(out, fmt.Sprintf(`,"elapsed_us":%d,"cache_age_ms":%d}`, elapsedUS, ageMS)...)
+	return out
 }
 
 type errorResponse struct {
@@ -234,6 +299,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.stats.searchRequests.Add(1)
 	s.stats.inFlight.Add(1)
 	defer s.stats.inFlight.Add(-1)
+	start := time.Now()
+	done := s.metrics.startRequest("search")
+	defer done()
 
 	var sreq SearchRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
@@ -260,6 +328,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	fill := func() (any, error) { return s.execute(ctx, &sreq, req) }
 
 	var payload any
+	outcome := Miss
 	if sreq.NoCache {
 		// Bypass, not a miss: the cache is neither consulted nor filled,
 		// so no X-Cache header is set.
@@ -270,7 +339,6 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusNotFound, "not_found", kerr)
 			return
 		}
-		var outcome Outcome
 		payload, outcome, err = s.cache.Do(ctx, key, fill)
 		if err == nil {
 			w.Header().Set("X-Cache", strings.ToUpper(outcome.String()))
@@ -281,9 +349,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Splice the per-request fields onto the cached body: elapsed_us is
+	// this request's serve time (a past bug replayed the leader's
+	// execution time on HITs — regression: TestCacheHitElapsed), and
+	// cache_age_ms says how stale a hit is.
+	cs := payload.(*cachedSearch)
+	var ageMS int64
+	if outcome == Hit {
+		ageMS = time.Since(cs.storedAt).Milliseconds()
+	}
+	out := spliceVolatile(cs.body, time.Since(start).Microseconds(), ageMS)
+
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	w.Write(payload.([]byte))
+	w.Write(out)
 }
 
 // buildEngineRequest validates and compiles the wire request into an
@@ -325,6 +404,9 @@ func (s *Server) buildEngineRequest(sreq *SearchRequest) (engine.Request, int, e
 	req.Parallelism = sreq.Parallelism
 	req.TwigAccess = sreq.Twig
 	req.LiteralRewrite = sreq.Literal
+	// The serving layer always pays for operator timing: /metrics and
+	// the slow-query log attribute time inside the plan with it.
+	req.Timing = true
 
 	if !s.fanout(sreq) {
 		if _, ok := s.reg.Document(sreq.Doc); !ok {
@@ -357,11 +439,13 @@ func (s *Server) cacheKey(sreq *SearchRequest, req engine.Request) (string, erro
 	return req.CacheKey(e.Fingerprint()), nil
 }
 
-// execute runs the search (single document or fan-out) and marshals the
-// response payload. The payload bytes are what the cache stores, so
-// repeated identical requests are byte-identical.
-func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Request) ([]byte, error) {
-	var sresp SearchResponse
+// execute runs the search (single document or fan-out), records the
+// execution's plan and pipeline metrics, feeds the slow-query log, and
+// marshals the cacheable body. It runs at most once per cache key —
+// inside the single-flight fill — so cache hits neither re-record
+// operator metrics nor re-trip the slow-query log.
+func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Request) (*cachedSearch, error) {
+	var body SearchBody
 	if s.fanout(sreq) {
 		// Fan-out searches do not support the per-engine extras.
 		if sreq.Twig || sreq.Literal {
@@ -371,18 +455,24 @@ func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Re
 		if err != nil {
 			return nil, err
 		}
-		sresp = SearchResponse{
+		body = SearchBody{
 			Results:      make([]SearchResult, 0, len(resp.Results)),
 			K:            resolveK(req.K),
 			Strategy:     req.Strategy.String(),
 			AppliedSRs:   resp.AppliedSRs,
 			DocsSearched: resp.DocsSearched,
-			ElapsedUS:    resp.Elapsed.Microseconds(),
+			ExecUS:       resp.Elapsed.Microseconds(),
 		}
 		for _, res := range resp.Results {
-			sresp.Results = append(sresp.Results, SearchResult{
+			body.Results = append(body.Results, SearchResult{
 				Doc: res.DocName, Node: uint32(res.Node), Path: res.Path,
 				S: res.S, K: res.K, Snippet: res.Snippet,
+			})
+		}
+		if s.slowlog != nil {
+			s.slowlog.observe(slowQuery{
+				Doc: sreq.Doc, Query: querySource(sreq), Elapsed: resp.Elapsed,
+				Plan: fmt.Sprintf("fan-out over %d docs", resp.DocsSearched),
 			})
 		}
 	} else {
@@ -394,7 +484,7 @@ func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Re
 		if err != nil {
 			return nil, err
 		}
-		sresp = SearchResponse{
+		body = SearchBody{
 			Results:      make([]SearchResult, 0, len(resp.Results)),
 			K:            resolveK(req.K),
 			Strategy:     req.Strategy.String(),
@@ -403,16 +493,37 @@ func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Re
 			Workers:      resp.Workers,
 			TotalPruned:  resp.TotalPruned,
 			DocsSearched: 1,
-			ElapsedUS:    resp.Elapsed.Microseconds(),
+			ExecUS:       resp.Elapsed.Microseconds(),
+			Trace:        resp.Trace,
 		}
 		for _, res := range resp.Results {
-			sresp.Results = append(sresp.Results, SearchResult{
+			body.Results = append(body.Results, SearchResult{
 				Doc: sreq.Doc, Node: uint32(res.Node), Path: res.Path,
 				S: res.S, K: res.K, Snippet: res.Snippet,
 			})
 		}
+		s.metrics.recordSearch(resp)
+		if s.slowlog != nil {
+			s.slowlog.observe(slowQuery{
+				Doc: sreq.Doc, Query: querySource(sreq), Elapsed: resp.Elapsed,
+				Plan: resp.PlanShape, Stats: resp.Stats,
+			})
+		}
 	}
-	return json.Marshal(&sresp)
+	b, err := json.Marshal(&body)
+	if err != nil {
+		return nil, err
+	}
+	return &cachedSearch{body: b, storedAt: time.Now()}, nil
+}
+
+// querySource returns whichever query form the request carried, for
+// log lines.
+func querySource(sreq *SearchRequest) string {
+	if sreq.Query != "" {
+		return sreq.Query
+	}
+	return "keywords: " + sreq.Keywords
 }
 
 // ExplainRequest is the /explain body.
@@ -421,20 +532,24 @@ type ExplainRequest struct {
 	Profile string `json:"profile"`
 }
 
-// ExplainResponse reports the Section 5 static analyses.
+// ExplainResponse reports the Section 5 static analyses plus the
+// trace of the analysis pipeline that produced them.
 type ExplainResponse struct {
-	Ambiguous   bool     `json:"ambiguous"`
-	Cycle       []string `json:"cycle,omitempty"`
-	Suggestion  string   `json:"suggestion,omitempty"`
-	ConflictErr string   `json:"conflict_error,omitempty"`
-	Applied     []string `json:"applied_srs,omitempty"`
-	Flock       []string `json:"flock,omitempty"`
+	Ambiguous   bool           `json:"ambiguous"`
+	Cycle       []string       `json:"cycle,omitempty"`
+	Suggestion  string         `json:"suggestion,omitempty"`
+	ConflictErr string         `json:"conflict_error,omitempty"`
+	Applied     []string       `json:"applied_srs,omitempty"`
+	Flock       []string       `json:"flock,omitempty"`
+	Trace       []metrics.Span `json:"trace,omitempty"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	s.stats.explainRequests.Add(1)
 	s.stats.inFlight.Add(1)
 	defer s.stats.inFlight.Add(-1)
+	done := s.metrics.startRequest("explain")
+	defer done()
 
 	var ereq ExplainRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
@@ -462,6 +577,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Cycle:      pa.Ambiguity.Cycle,
 		Suggestion: pa.Ambiguity.Suggestion,
 		Applied:    pa.Applied,
+		Trace:      pa.Trace,
 	}
 	if pa.ConflictErr != nil {
 		eresp.ConflictErr = pa.ConflictErr.Error()
@@ -474,10 +590,24 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.stats.healthRequests.Add(1)
+	done := s.metrics.startRequest("healthz")
+	defer done()
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"docs":   s.reg.Len(),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition. Cache and
+// registry totals are mirrored into the registry at scrape time (they
+// have authoritative owners elsewhere); everything else is live.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.stats.metricsRequests.Add(1)
+	done := s.metrics.startRequest("metrics")
+	defer done()
+	s.metrics.syncGauges(s.reg.Len(), s.cache.Stats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
 }
 
 // Statsz is the /statsz payload.
@@ -494,6 +624,8 @@ type Statsz struct {
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.stats.statsRequests.Add(1)
+	done := s.metrics.startRequest("statsz")
+	defer done()
 	s.writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
@@ -506,6 +638,7 @@ func (s *Server) Snapshot() Statsz {
 			"explain": s.stats.explainRequests.Load(),
 			"healthz": s.stats.healthRequests.Load(),
 			"statsz":  s.stats.statsRequests.Load(),
+			"metrics": s.stats.metricsRequests.Load(),
 		},
 		Errors4xx: s.stats.errors4xx.Load(),
 		Errors5xx: s.stats.errors5xx.Load(),
@@ -543,32 +676,51 @@ type badRequestError struct{ err error }
 func (e *badRequestError) Error() string { return e.err.Error() }
 func (e *badRequestError) Unwrap() error { return e.err }
 
-// writeSearchError classifies an execution error: deadline → 504,
-// client cancel → 499 (nginx's convention), client mistakes → 400,
-// anything else the engine reports → 500.
-func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
+// classifySearchError maps an execution error onto its HTTP status and
+// error kind: deadline → 504, client cancel → 499 (nginx's
+// convention), client mistakes → 400, anything else the engine
+// reports → 500. Classification is separated from counting so /statsz
+// and /metrics agree on one mapping (regression:
+// TestErrorClassCounters).
+func classifySearchError(err error) (status int, kind string) {
 	var bad *badRequestError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.stats.timeouts.Add(1)
-		s.writeError(w, http.StatusGatewayTimeout, "timeout", err)
+		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
-		s.stats.canceled.Add(1)
 		// 499: the client went away; the write is best-effort.
-		s.writeError(w, 499, "canceled", err)
+		return 499, "canceled"
 	case errors.As(err, &bad):
-		s.writeError(w, http.StatusBadRequest, "parse", err)
+		return http.StatusBadRequest, "parse"
 	default:
-		s.writeError(w, http.StatusInternalServerError, "engine", err)
+		return http.StatusInternalServerError, "engine"
 	}
 }
 
+// writeSearchError classifies and reports an execution error. Counting
+// rules: a 504 is a timeout AND a 5xx (the client received a server
+// error); a 499 is a cancel AND a 4xx (the client caused it); each
+// counter sees the request exactly once.
+func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
+	status, kind := classifySearchError(err)
+	switch kind {
+	case "timeout":
+		s.stats.timeouts.Add(1)
+	case "canceled":
+		s.stats.canceled.Add(1)
+	}
+	s.writeError(w, status, kind, err)
+}
+
+// writeError reports an error response and counts it once per status
+// class in both the /statsz block and the Prometheus counters.
 func (s *Server) writeError(w http.ResponseWriter, status int, kind string, err error) {
 	if status >= 500 {
 		s.stats.errors5xx.Add(1)
 	} else if status >= 400 {
 		s.stats.errors4xx.Add(1)
 	}
+	s.metrics.recordError(status)
 	s.writeJSON(w, status, &errorResponse{Error: err.Error(), Kind: kind})
 }
 

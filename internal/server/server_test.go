@@ -83,6 +83,7 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	s.Add("xmark", bigXMark())
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -133,7 +134,8 @@ func decodeSearch(t testing.TB, data []byte) SearchResponse {
 }
 
 // normalizePayload zeroes the volatile fields so payloads from distinct
-// executions can be compared byte-for-byte: elapsed_us (wall clock) and
+// executions can be compared byte-for-byte: the wall-clock fields
+// (elapsed_us, exec_us, cache_age_ms, the trace spans) and
 // total_pruned (under parallel execution the prune count depends on how
 // worker interleaving tightens the shared bound — the ranked answers do
 // not).
@@ -145,11 +147,26 @@ func normalizePayload(t testing.TB, data []byte) []byte {
 	}
 	sr.ElapsedUS = 0
 	sr.TotalPruned = 0
+	sr.ExecUS = 0
+	sr.CacheAgeMS = 0
+	sr.Trace = nil
 	out, err := json.Marshal(&sr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return out
+}
+
+// stablePart strips the spliced per-request tail (elapsed_us,
+// cache_age_ms) from a /search payload, leaving the cached body — the
+// portion the server promises is byte-identical across cache hits.
+func stablePart(t testing.TB, data []byte) []byte {
+	t.Helper()
+	i := bytes.LastIndex(data, []byte(`,"elapsed_us":`))
+	if i < 0 {
+		t.Fatalf("payload %q has no spliced elapsed_us tail", data)
+	}
+	return data[:i]
 }
 
 func TestHealthz(t *testing.T) {
@@ -236,8 +253,8 @@ func TestSearchCacheHit(t *testing.T) {
 		t.Fatalf("X-Cache = %q then %q, want MISS then HIT",
 			hdr1.Get("X-Cache"), hdr2.Get("X-Cache"))
 	}
-	if !bytes.Equal(body1, body2) {
-		t.Fatalf("cache hit is not byte-identical:\n%s\nvs\n%s", body1, body2)
+	if !bytes.Equal(stablePart(t, body1), stablePart(t, body2)) {
+		t.Fatalf("cached result payload is not byte-identical:\n%s\nvs\n%s", body1, body2)
 	}
 	after := s.Cache().Stats()
 	if after.Hits != before.Hits+1 {
@@ -258,6 +275,61 @@ func TestSearchCacheHit(t *testing.T) {
 	}
 	if st.Endpoints["search"] < 2 {
 		t.Errorf("statsz search requests = %d, want >= 2", st.Endpoints["search"])
+	}
+}
+
+// TestCacheHitElapsed pins the fix for the cache-hit elapsed bug: HIT
+// responses used to replay the leader's marshaled bytes wholesale, so
+// their elapsed_ms reported the original execution's time instead of
+// the (much smaller) serve time. Now the cached body carries the
+// execution's exec_us and trace verbatim — byte-identical across
+// requests — while elapsed_us and cache_age_ms are spliced per
+// request.
+func TestCacheHitElapsed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := SearchRequest{Doc: "cars", Query: carsQuery, Profile: carsProfile, K: 3}
+
+	_, hdr1, body1 := post(t, ts, "/search", req)
+	time.Sleep(20 * time.Millisecond)
+	_, hdr2, body2 := post(t, ts, "/search", req)
+	if hdr1.Get("X-Cache") != "MISS" || hdr2.Get("X-Cache") != "HIT" {
+		t.Fatalf("X-Cache = %q then %q, want MISS then HIT",
+			hdr1.Get("X-Cache"), hdr2.Get("X-Cache"))
+	}
+
+	// The cached result body replays byte-identically ...
+	if !bytes.Equal(stablePart(t, body1), stablePart(t, body2)) {
+		t.Fatalf("cached body diverged:\n%s\nvs\n%s", body1, body2)
+	}
+	// ... but the volatile tail is per-request: the HIT aged at least
+	// the 20ms we slept, the MISS has age 0, so full payloads differ.
+	if bytes.Equal(body1, body2) {
+		t.Fatal("HIT payload is byte-identical to MISS payload — volatile tail not spliced")
+	}
+
+	miss := decodeSearch(t, body1)
+	hit := decodeSearch(t, body2)
+	if miss.ExecUS <= 0 {
+		t.Errorf("MISS exec_us = %d, want > 0", miss.ExecUS)
+	}
+	if hit.ExecUS != miss.ExecUS {
+		t.Errorf("HIT exec_us = %d, want the leader's %d", hit.ExecUS, miss.ExecUS)
+	}
+	if miss.CacheAgeMS != 0 {
+		t.Errorf("MISS cache_age_ms = %d, want 0", miss.CacheAgeMS)
+	}
+	if hit.CacheAgeMS < 10 {
+		t.Errorf("HIT cache_age_ms = %d, want >= 10 after a 20ms sleep", hit.CacheAgeMS)
+	}
+	if len(hit.Trace) == 0 {
+		t.Error("HIT lost the execution's pipeline trace")
+	}
+	// elapsed_us must be this request's serve time, not a replay: both
+	// requests measured it independently, and it stays bounded by the
+	// request's own wall time rather than the leader's execution.
+	if miss.ElapsedUS < miss.ExecUS {
+		t.Errorf("MISS elapsed_us %d < exec_us %d; serve time should include execution",
+			miss.ElapsedUS, miss.ExecUS)
 	}
 }
 

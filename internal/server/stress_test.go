@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // TestServerStress hammers one server with concurrent mixed traffic —
@@ -139,5 +141,99 @@ func TestServerStress(t *testing.T) {
 			t.Fatalf("goroutine leak: %d before stress, %d after settle\n%s", before, now, buf[:n])
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMetricsScrapeStress scrapes /metrics continuously while search
+// traffic (including slow-query-logged executions and timeouts) is in
+// flight. Every scrape must parse as valid exposition format — a
+// torn render under concurrent counter updates is a bug — and the
+// whole thing runs under -race to catch unsynchronized access between
+// Observe and WritePrometheus.
+func TestMetricsScrapeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	_, ts := newTestServer(t, Config{
+		CacheSize:          8,
+		SlowQueryThreshold: time.Microsecond, // exercise the log under load
+		SlowQueryLog:       func(string, ...any) {},
+	})
+
+	variants := []SearchRequest{
+		{Doc: "cars", Query: carsQuery, Profile: carsProfile, K: 3},
+		{Doc: "cars", Keywords: "good condition", K: 5},
+		{Doc: "xmark", Query: `//person(*)[.//business[. ftcontains "Yes"]]`, Profile: personProfile(2), K: 5, Parallelism: 2},
+		{Doc: "*", Keywords: "good condition", K: 4},
+	}
+
+	stop := make(chan struct{})
+	var searchers, scrapers sync.WaitGroup
+	errs := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	for w := 0; w < 4; w++ {
+		searchers.Add(1)
+		go func(w int) {
+			defer searchers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := variants[(w+i)%len(variants)]
+				if i%7 == 0 && req.Doc == "xmark" {
+					req.TimeoutMS = 1
+				}
+				var buf bytes.Buffer
+				json.NewEncoder(&buf).Encode(&req)
+				resp, err := ts.Client().Post(ts.URL+"/search", "application/json", &buf)
+				if err != nil {
+					report(fmt.Errorf("search worker %d: %v", w, err))
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	for sc := 0; sc < 3; sc++ {
+		scrapers.Add(1)
+		go func(sc int) {
+			defer scrapers.Done()
+			for i := 0; i < 30; i++ {
+				resp, err := ts.Client().Get(ts.URL + "/metrics")
+				if err != nil {
+					report(fmt.Errorf("scraper %d: %v", sc, err))
+					return
+				}
+				var body bytes.Buffer
+				body.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if _, err := metrics.ParseExposition(body.String()); err != nil {
+					report(fmt.Errorf("scraper %d iteration %d: invalid exposition under load: %v", sc, i, err))
+					return
+				}
+			}
+		}(sc)
+	}
+
+	// Let the scrapers finish their quota, then stop the traffic.
+	done := make(chan struct{})
+	go func() { scrapers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Error("scrape stress did not finish in 60s")
+	}
+	close(stop)
+	searchers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,76 @@
+#!/bin/sh
+# profile.sh — profile pimentod under a Fig. 7-style workload.
+#
+# Starts the daemon with a generated XMark document and pprof enabled
+# on a debug listener, drives repeated personalized /search requests
+# (cache-bypassing, so every request executes a plan), then captures
+# CPU and heap profiles plus a /metrics snapshot into PROFILE_DIR.
+#
+# Usage: scripts/profile.sh
+# Tune with:
+#   PROFILE_DIR   output directory        (default profiles/)
+#   XMARK_SIZE    document size           (default 4M)
+#   ADDR          serving address         (default localhost:18080)
+#   DEBUG_ADDR    pprof address           (default localhost:16060)
+#   CPU_SECONDS   CPU profile duration    (default 10)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir="${PROFILE_DIR:-profiles}"
+size="${XMARK_SIZE:-4M}"
+addr="${ADDR:-localhost:18080}"
+debug="${DEBUG_ADDR:-localhost:16060}"
+cpusec="${CPU_SECONDS:-10}"
+mkdir -p "$dir"
+
+go build -o "$dir/pimentod" ./cmd/pimentod
+
+"$dir/pimentod" -addr "$addr" -debug-addr "$debug" -xmark "$size" \
+    -slow-query 50ms -cache 64 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true' EXIT
+
+# Wait for the daemon to come up.
+i=0
+until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "profile.sh: pimentod did not start" >&2; exit 1; }
+    sleep 0.1
+done
+
+# The Fig. 7 workload shape: the Fig. 5 query under increasingly
+# personal profiles (the same DSL workload.Fig5Profile generates).
+# no_cache forces a fresh plan execution each time.
+profile_body() {
+    kors="$1"
+    p=""
+    i=1
+    for phrase in male "United States" College Phoenix; do
+        [ "$i" -le "$kors" ] || break
+        p="${p}kor pi$i priority $i: x.tag = person & y.tag = person & ftcontains(x, \\\"$phrase\\\") => x < y\\n"
+        i=$((i + 1))
+    done
+    p="${p}rank K,V,S\\n"
+    printf '{"doc":"xmark","query":"//person(*)[.//business[. ftcontains \\"Yes\\"]]","profile":"%s","k":10,"no_cache":true}' "$p"
+}
+
+echo "profile.sh: driving workload while capturing a ${cpusec}s CPU profile..."
+(
+    end=$(( $(date +%s) + cpusec + 2 ))
+    while [ "$(date +%s)" -lt "$end" ]; do
+        for n in 1 2 3 4; do
+            curl -sf -o /dev/null "http://$addr/search" -d "$(profile_body "$n")" || true
+        done
+    done
+) &
+load=$!
+
+curl -sf -o "$dir/cpu.pprof" "http://$debug/debug/pprof/profile?seconds=$cpusec"
+wait "$load" 2>/dev/null || true
+
+curl -sf -o "$dir/heap.pprof" "http://$debug/debug/pprof/heap"
+curl -sf -o "$dir/metrics.txt" "http://$addr/metrics"
+
+echo "profile.sh: wrote $dir/cpu.pprof, $dir/heap.pprof, $dir/metrics.txt"
+echo "profile.sh: inspect with: go tool pprof $dir/pimentod $dir/cpu.pprof"
