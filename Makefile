@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel metrics-lint profile
+.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel metrics-lint profile vet-profiles
 
-ci: fmt-check vet build test race smoke cover metrics-lint
+ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles
 
 fmt-check:
 	@files="$$(gofmt -l .)"; \
@@ -31,7 +31,7 @@ race:
 # stress run, and the serving layer's mixed-traffic stress (shared
 # cache, mid-flight deadline expiry, goroutine-leak check).
 smoke:
-	$(GO) test -race -run 'TestParallelMatchesSequential|TestConcurrentSearches' \
+	$(GO) test -race -run 'TestParallelMatchesSequential|TestConcurrentSearches|TestAnalysisCacheStress' \
 		./internal/plan/ ./internal/engine/ -count=1
 	$(GO) test -race -run 'TestServerStress|TestCacheEquivalenceProperty|TestCacheSingleFlight' \
 		./internal/server/ -count=2
@@ -40,7 +40,7 @@ smoke:
 # a gate, not a target: new handlers and cache paths ship with tests.
 COVER_FLOOR := 80
 cover:
-	@for pkg in ./internal/server/ ./internal/plan/; do \
+	@for pkg in ./internal/server/ ./internal/plan/ ./internal/analysis/; do \
 		pct="$$($(GO) test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"; \
 		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
 		ok="$$(awk "BEGIN{print ($$pct >= $(COVER_FLOOR)) ? 1 : 0}")"; \
@@ -59,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParseXML -fuzztime $(FUZZTIME) -run '^$$' ./internal/xmldoc/
 	$(GO) test -fuzz FuzzParseProfile -fuzztime $(FUZZTIME) -run '^$$' ./internal/profile/
 	$(GO) test -fuzz FuzzSearchHandler -fuzztime $(FUZZTIME) -run '^$$' ./internal/server/
+	$(GO) test -fuzz FuzzVetProfile -fuzztime $(FUZZTIME) -run '^$$' ./internal/analysis/
 
 # Metrics hygiene: the /metrics exposition must parse cleanly and every
 # label value must come from a compile-time-enumerable set (no dynamic
@@ -66,6 +67,12 @@ fuzz-smoke:
 metrics-lint:
 	$(GO) test -run 'TestMetricsEndpoint|TestMetricsLabelLint|TestExpositionFormat' \
 		./internal/server/ ./internal/metrics/ -count=1
+
+# Vets every example profile: *.bad.profile files must be rejected,
+# everything else must come back clean. Guards the shipped examples and
+# the vet CLI's exit-status contract in one pass.
+vet-profiles:
+	scripts/vet_profiles.sh
 
 # Regenerates BENCH_parallel.json (BENCHTIME=5s for stable numbers).
 bench-parallel:

@@ -2,10 +2,13 @@
 //
 //	pimento -doc cars.xml -query '//car[price < 2000]' [-profile prof.txt] [-k 5]
 //	pimento -doc cars.xml -query '...' -profile prof.txt -explain
+//	pimento vet -profile prof.txt [-query '...'] [-json]
 //
 // -explain prints the Section 5 static analysis (rule applicability,
 // conflicts, application order, the query flock, ambiguity) instead of
-// executing the query.
+// executing the query. The vet subcommand runs the full diagnostics
+// suite (see internal/analysis) and exits nonzero when the profile
+// carries an error-severity finding.
 package main
 
 import (
@@ -18,6 +21,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		runVet(os.Args[2:])
+		return
+	}
 	docPath := flag.String("doc", "", "XML document to search (required)")
 	querySrc := flag.String("query", "", "query, e.g. //car[price < 2000]")
 	keywords := flag.String("keywords", "", "alternatively: content-only keyword search, e.g. 'data mining'")

@@ -8,11 +8,13 @@
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/statsz
 //
-// Endpoints: POST /search, POST /explain, GET /healthz, GET /statsz,
-// GET /metrics (Prometheus text exposition).
+// Endpoints: POST /search, POST /explain, POST /lint (profile vet
+// diagnostics), GET /healthz, GET /statsz, GET /metrics (Prometheus
+// text exposition).
 // Per-request deadlines come from the request's timeout_ms field,
 // bounded by -timeout; repeated identical requests are answered from a
-// single-flight LRU result cache. -slow-query enables the slow-query
+// single-flight LRU result cache, and profile/query analysis verdicts
+// from a shared memoized analysis cache (-analysis-cache). -slow-query enables the slow-query
 // log; -debug-addr serves net/http/pprof on a separate listener for
 // profiling (see `make profile`). SIGINT/SIGTERM drain in-flight
 // requests before exit (graceful shutdown).
@@ -53,6 +55,7 @@ func main() {
 	xmarkSize := flag.String("xmark", "", "additionally serve a generated XMark document of ~this size (e.g. 512K, 4M) under the name \"xmark\"")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 disables)")
 	cacheSize := flag.Int("cache", 512, "result cache capacity in entries")
+	analysisCacheSize := flag.Int("analysis-cache", 256, "profile/query analysis verdict cache capacity in entries")
 	stem := flag.Bool("stem", true, "apply Porter stemming while indexing")
 	stopwords := flag.Bool("stopwords", false, "drop English stopwords while indexing")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at least this slow, with plan and per-operator stats (0 disables)")
@@ -68,6 +71,7 @@ func main() {
 	srv := server.New(server.Config{
 		Pipeline:           text.Pipeline{Stem: *stem, DropStopwords: *stopwords},
 		CacheSize:          *cacheSize,
+		AnalysisCacheSize:  *analysisCacheSize,
 		DefaultTimeout:     *timeout,
 		SlowQueryThreshold: *slowQuery,
 	})

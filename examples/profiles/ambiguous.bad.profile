@@ -1,0 +1,8 @@
+# Section 5.2's ambiguous pair, unprioritized: w1 prefers red cars, w2
+# prefers lower mileage. A red high-mileage car and a non-red
+# low-mileage car are each preferred to the other, so the constraint
+# graph has an alternating cycle (Lemma 5.1) and `pimento vet` reports
+# the VOR001 error with the cycle walk as its witness (exit status 1).
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+rank K,V,S

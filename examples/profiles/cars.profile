@@ -1,0 +1,11 @@
+# A clean car-shopping profile (the paper's Fig. 2, with priorities
+# assigned so the ordering rules are unambiguous). `pimento vet` should
+# report no error-severity diagnostics.
+order colors: red > blue > green
+sr p1 priority 1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(car, "good condition")
+sr p2 priority 2: if pc(car, description) & ftcontains(description, "good condition") then add ftcontains(description, "american")
+vor w1 priority 2: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2 priority 1: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+vor w6 priority 3: x.tag = car & y.tag = car & colors(x.color, y.color) => x < y
+kor w4: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+rank K,V,S

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/profile"
 )
@@ -146,9 +147,14 @@ func detect(vors []*profile.VOR, _ any) AmbiguityReport {
 			varRef{ri, true}.String(vors),
 			varRef{ri, false}.String(vors))
 	}
-	names := make([]string, len(rules))
-	for i, ri := range rules {
-		names[i] = vors[ri].Name
+	// Canonicalize to the lexicographically smallest rotation (stride 2:
+	// x/y pairs rotate together) so the witness is byte-stable no matter
+	// where DFS entered the cycle.
+	walk = canonicalRotation(walk, 2)
+	names := make([]string, 0, len(rules))
+	for i := 0; i < len(walk); i += 2 {
+		v := walk[i]
+		names = append(names, v[:strings.LastIndexByte(v, '.')])
 	}
 	return AmbiguityReport{
 		Ambiguous: true,

@@ -98,6 +98,8 @@ func AnalyzeSRs(rules []*profile.SR, q *tpq.Query) (*ConflictReport, error) {
 		for _, i := range cycle {
 			rep.Cycle = append(rep.Cycle, rules[i].Name)
 		}
+		// Canonical rotation: byte-stable witness regardless of DFS entry.
+		rep.Cycle = canonicalRotation(rep.Cycle, 1)
 		return rep, fmt.Errorf(
 			"analysis: conflict cycle among scoping rules %v; assign priorities to fix the application order (Section 5.1)",
 			rep.Cycle)

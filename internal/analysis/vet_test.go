@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/tpq"
+)
+
+func mustVet(t *testing.T, src, query string) []Diagnostic {
+	t.Helper()
+	p := profile.MustParseProfile(src)
+	var q *tpq.Query
+	if query != "" {
+		q = tpq.MustParse(query)
+	}
+	return Vet(p, q)
+}
+
+func findDiag(ds []Diagnostic, id string) *Diagnostic {
+	for i := range ds {
+		if ds[i].ID == id {
+			return &ds[i]
+		}
+	}
+	return nil
+}
+
+func TestVetCleanProfile(t *testing.T) {
+	ds := mustVet(t, `
+sr p1 priority 1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(car, "good condition")
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+kor w4: x.tag = car & y.tag = car & ftcontains(x, "best bid") => x < y
+rank K,V,S`, paperQ)
+	if n := ErrorCount(ds); n != 0 {
+		t.Fatalf("clean profile got %d errors: %v", n, ds)
+	}
+}
+
+func TestVetAmbiguityError(t *testing.T) {
+	ds := mustVet(t, `
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`, "")
+	d := findDiag(ds, DiagVORAmbiguous)
+	if d == nil {
+		t.Fatalf("expected VOR001, got %v", ds)
+	}
+	if d.Severity != SevError {
+		t.Errorf("VOR001 must be error severity, got %s", d.Severity)
+	}
+	if d.Witness == nil || d.Witness.Kind != WitnessAlternatingCycle {
+		t.Fatalf("missing alternating-cycle witness: %+v", d)
+	}
+	// Canonical rotation: the walk must start at the lexicographically
+	// smallest x/y pair.
+	want := []string{"w1.x", "w1.y", "w2.x", "w2.y"}
+	if !reflect.DeepEqual(d.Witness.Path, want) {
+		t.Errorf("walk = %v, want canonical %v", d.Witness.Path, want)
+	}
+	if len(d.Rules) != 2 || d.Rules[0].Name != "w1" || d.Rules[1].Name != "w2" {
+		t.Errorf("rule refs = %v", d.Rules)
+	}
+}
+
+func TestVetAmbiguityResolvedInfo(t *testing.T) {
+	ds := mustVet(t, `
+vor w1 priority 2: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2 priority 1: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`, "")
+	if findDiag(ds, DiagVORAmbiguous) != nil {
+		t.Fatalf("priorities must resolve ambiguity: %v", ds)
+	}
+	d := findDiag(ds, DiagVORAmbiguousResolved)
+	if d == nil {
+		t.Fatalf("expected VOR002 advisory, got %v", ds)
+	}
+	if d.Severity != SevInfo {
+		t.Errorf("VOR002 must be info, got %s", d.Severity)
+	}
+}
+
+// cyclicSRs is a pair of rules that each remove what the other needs:
+// applicable together, they form a conflict cycle.
+const cyclicSRs = `
+sr a: if pc(car, description) & ftcontains(description, "alpha") & ftcontains(description, "beta") then remove ftcontains(description, "beta")
+sr b: if pc(car, description) & ftcontains(description, "alpha") & ftcontains(description, "beta") then remove ftcontains(description, "alpha")
+`
+
+func TestVetConflictCycle(t *testing.T) {
+	q := `//car[./description[. ftcontains "alpha" and . ftcontains "beta"]]`
+	ds := mustVet(t, cyclicSRs, q)
+	d := findDiag(ds, DiagSRConflictCycle)
+	if d == nil {
+		t.Fatalf("expected SR001, got %v", ds)
+	}
+	if d.Severity != SevError {
+		t.Errorf("SR001 must be error, got %s", d.Severity)
+	}
+	if d.Witness == nil || d.Witness.Kind != WitnessConflictCycle {
+		t.Fatalf("missing conflict-cycle witness: %+v", d)
+	}
+	// Canonical rotation starts at the smallest rule name.
+	if len(d.Witness.Path) == 0 || d.Witness.Path[0] != "a" {
+		t.Errorf("cycle not canonical: %v", d.Witness.Path)
+	}
+}
+
+func TestVetProbeCycle(t *testing.T) {
+	// Profile-only vet: the cycle is reachable from each rule's own
+	// trigger, so SR006 fires without a query.
+	ds := mustVet(t, cyclicSRs, "")
+	d := findDiag(ds, DiagSRProbeCycle)
+	if d == nil {
+		t.Fatalf("expected SR006, got %v", ds)
+	}
+	if d.Severity != SevWarn {
+		t.Errorf("SR006 must be warn (query-scoped SR001 is the error), got %s", d.Severity)
+	}
+	if findDiag(ds, DiagSRConflictCycle) != nil {
+		t.Error("SR001 is query-scoped; VetProfile must not emit it")
+	}
+}
+
+func TestVetUnsatCondition(t *testing.T) {
+	ds := mustVet(t, `
+sr u: if pc(car, description) & car.price < 100 & car.price > 200 then add ftcontains(description, "z")`, "")
+	d := findDiag(ds, DiagSRUnsatCond)
+	if d == nil {
+		t.Fatalf("expected SR002, got %v", ds)
+	}
+	if d.Witness == nil || d.Witness.Kind != WitnessContradiction || len(d.Witness.Path) != 2 {
+		t.Fatalf("want a contradictory pair witness, got %+v", d.Witness)
+	}
+}
+
+func TestVetDeadAction(t *testing.T) {
+	// The conclusion names a variable the condition never binds, so the
+	// add cannot be carried out on any query.
+	ds := mustVet(t, `
+sr d: if pc(car, description) then add ftcontains(engine, "turbo")`, "")
+	if findDiag(ds, DiagSRDeadAction) == nil {
+		t.Fatalf("expected SR003, got %v", ds)
+	}
+}
+
+func TestVetShadowedSR(t *testing.T) {
+	// a (priority 1) removes the predicate b (priority 2) needs: on b's
+	// own trigger, a fires first and disables b.
+	ds := mustVet(t, `
+sr a priority 1: if pc(car, description) & ftcontains(description, "good condition") then remove ftcontains(description, "good condition")
+sr b priority 2: if pc(car, description) & ftcontains(description, "good condition") then add ftcontains(description, "american")`, "")
+	d := findDiag(ds, DiagSRShadowed)
+	if d == nil {
+		t.Fatalf("expected SR004, got %v", ds)
+	}
+	if d.Rules[0].Name != "b" {
+		t.Errorf("shadowed rule should be b: %v", d.Rules)
+	}
+	if d.Witness == nil || d.Witness.Kind != WitnessShadowedBy ||
+		len(d.Witness.Path) != 1 || d.Witness.Path[0] != "a" {
+		t.Errorf("witness should name a: %+v", d.Witness)
+	}
+}
+
+func TestVetUnsatRewrite(t *testing.T) {
+	// Two scoping rules jointly add price > 5000 and price < 100 to the
+	// car node: the rewritten flock member can never match anything.
+	ds := mustVet(t, `
+sr s1 priority 1: if pc(car, description) then add car.price > 5000
+sr s2 priority 2: if pc(car, description) then add car.price < 100`,
+		`//car[./description]`)
+	d := findDiag(ds, DiagUnsatRewrite)
+	if d == nil {
+		t.Fatalf("expected SR005, got %v", ds)
+	}
+	if d.Witness == nil || d.Witness.Kind != WitnessContradiction {
+		t.Fatalf("want contradiction witness, got %+v", d.Witness)
+	}
+}
+
+func TestVetVORDead(t *testing.T) {
+	ds := mustVet(t, `
+vor d: x.tag = car & y.tag = car & x.hp < 100 & x.hp > 200 & x.mileage < y.mileage => x < y`, "")
+	d := findDiag(ds, DiagVORDead)
+	if d == nil {
+		t.Fatalf("expected VOR004, got %v", ds)
+	}
+	if d.Witness == nil || d.Witness.Kind != WitnessContradiction {
+		t.Fatalf("want contradiction witness, got %+v", d.Witness)
+	}
+}
+
+func TestVetVORRedundant(t *testing.T) {
+	ds := mustVet(t, `
+vor a: x.tag = car & y.tag = car & x.fuel = "diesel" & x.mileage < y.mileage => x < y
+vor b: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`, "")
+	d := findDiag(ds, DiagVORRedundant)
+	if d == nil {
+		t.Fatalf("expected VOR003, got %v", ds)
+	}
+	if d.Rules[0].Name != "a" {
+		t.Errorf("the more constrained rule a is the subsumed one: %v", d.Rules)
+	}
+	if d.Witness == nil || d.Witness.Kind != WitnessSubsumedBy || d.Witness.Path[0] != "b" {
+		t.Errorf("witness should name b: %+v", d.Witness)
+	}
+}
+
+func TestVetVORRedundantIdenticalOnce(t *testing.T) {
+	// Exact duplicates under different names: P002 fires, and VOR003
+	// reports only the later declaration (not both directions).
+	ds := mustVet(t, `
+vor a: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+vor b: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`, "")
+	if findDiag(ds, DiagDuplicateRule) == nil {
+		t.Fatalf("expected P002, got %v", ds)
+	}
+	n := 0
+	for _, d := range ds {
+		if d.ID == DiagVORRedundant {
+			n++
+			if d.Rules[0].Name != "b" {
+				t.Errorf("only the later duplicate is redundant: %v", d.Rules)
+			}
+		}
+	}
+	if n != 1 {
+		t.Errorf("identical pair must yield exactly one VOR003, got %d", n)
+	}
+}
+
+func TestVetTagMismatch(t *testing.T) {
+	ds := mustVet(t, `
+vor v: x.tag = boat & y.tag = boat & x.length > y.length => x < y
+kor k: x.tag = boat & y.tag = boat & ftcontains(x, "sloop") => x < y`,
+		`//car[./description]`)
+	if findDiag(ds, DiagVORNoMatch) == nil {
+		t.Errorf("expected VOR005, got %v", ds)
+	}
+	if findDiag(ds, DiagKORNoMatch) == nil {
+		t.Errorf("expected KOR001, got %v", ds)
+	}
+	// A wildcard query reaches every tag: no mismatch.
+	ds = mustVet(t, `
+vor v: x.tag = boat & y.tag = boat & x.length > y.length => x < y`, `//*[. ftcontains "x"]`)
+	if findDiag(ds, DiagVORNoMatch) != nil {
+		t.Errorf("wildcard answers match every tag: %v", ds)
+	}
+}
+
+func TestVetKORDupPhrase(t *testing.T) {
+	ds := mustVet(t, `
+kor k: x.tag = car & y.tag = car & ftcontains(x, "best bid") & ftcontains(x, "best bid") => x < y`, "")
+	if findDiag(ds, DiagKORDupPhrase) == nil {
+		t.Fatalf("expected KOR002, got %v", ds)
+	}
+}
+
+func TestVetDuplicateSRBody(t *testing.T) {
+	ds := mustVet(t, `
+sr a: if pc(car, description) then add ftcontains(description, "x")
+sr b: if pc(car, description) then add ftcontains(description, "x")`, "")
+	d := findDiag(ds, DiagDuplicateRule)
+	if d == nil {
+		t.Fatalf("expected P002, got %v", ds)
+	}
+	if len(d.Rules) != 2 || d.Rules[0].Name != "b" || d.Rules[1].Name != "a" {
+		t.Errorf("P002 should point at the duplicate and its original: %v", d.Rules)
+	}
+}
+
+// TestVetDeterministic is the repeated-run equality gate: the same
+// inputs must produce deeply equal diagnostics and byte-identical JSON.
+func TestVetDeterministic(t *testing.T) {
+	src := cyclicSRs + `
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+vor d: x.tag = truck & y.tag = truck & x.hp < 100 & x.hp > 200 & x.mileage < y.mileage => x < y
+kor k: x.tag = car & y.tag = car & ftcontains(x, "bid") & ftcontains(x, "bid") => x < y`
+	q := `//car[./description[. ftcontains "alpha" and . ftcontains "beta"]]`
+	first := mustVet(t, src, q)
+	if len(first) == 0 {
+		t.Fatal("expected a rich diagnostics list")
+	}
+	b0, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ds := mustVet(t, src, q)
+		if !reflect.DeepEqual(ds, first) {
+			t.Fatalf("run %d differs:\n%v\nvs\n%v", i, ds, first)
+		}
+		b, _ := json.Marshal(ds)
+		if string(b) != string(b0) {
+			t.Fatalf("run %d JSON differs", i)
+		}
+	}
+	// Sorted invariant: severity, then ID, then first rule index.
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Severity > b.Severity {
+			t.Fatalf("not sorted by severity at %d: %v then %v", i, a, b)
+		}
+		if a.Severity == b.Severity && a.ID > b.ID {
+			t.Fatalf("not sorted by ID at %d: %v then %v", i, a, b)
+		}
+	}
+}
+
+func TestCanonicalRotation(t *testing.T) {
+	cases := []struct {
+		in     []string
+		stride int
+		want   []string
+	}{
+		{[]string{"c", "a", "b"}, 1, []string{"a", "b", "c"}},
+		{[]string{"a", "b", "c"}, 1, []string{"a", "b", "c"}},
+		{[]string{"b.x", "b.y", "a.x", "a.y"}, 2, []string{"a.x", "a.y", "b.x", "b.y"}},
+		// stride 2 must not split a pair, even when a mid-pair rotation
+		// would be lexicographically smaller.
+		{[]string{"b.x", "a.y", "c.x", "a.x"}, 2, []string{"b.x", "a.y", "c.x", "a.x"}},
+		{[]string{"c.x", "a.x", "b.x", "a.y"}, 2, []string{"b.x", "a.y", "c.x", "a.x"}},
+		{nil, 1, nil},
+	}
+	for _, c := range cases {
+		got := canonicalRotation(c.in, c.stride)
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("canonicalRotation(%v, %d) = %v, want %v", c.in, c.stride, got, c.want)
+		}
+	}
+}
+
+func TestDiagnosticStringsAndJSON(t *testing.T) {
+	d := Diagnostic{
+		ID:       DiagSRConflictCycle,
+		Severity: SevError,
+		Message:  "m",
+		Rules:    []RuleRef{{Kind: "sr", Index: 1, Name: "p1"}},
+		Witness:  &Witness{Kind: WitnessConflictCycle, Path: []string{"p1", "p3"}},
+	}
+	if got := d.String(); got != "ERROR SR001: m (conflict-cycle: p1 -> p3)" {
+		t.Errorf("String() = %q", got)
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"severity":"error"`; !contains(string(b), want) {
+		t.Errorf("JSON severity not stringly: %s", b)
+	}
+	if (&Witness{Kind: WitnessContradiction, Path: []string{"a", "b"}}).String() != "contradiction: a ∧ b" {
+		t.Error("contradiction separator")
+	}
+	var nilW *Witness
+	if nilW.String() != "" {
+		t.Error("nil witness String")
+	}
+	if SevWarn.String() != "warn" || SevInfo.String() != "info" {
+		t.Error("severity names")
+	}
+	var round Diagnostic
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if round.Severity != SevError {
+		t.Errorf("round-tripped severity = %v", round.Severity)
+	}
+	var sev Severity
+	if err := sev.UnmarshalJSON([]byte(`"fatal"`)); err == nil {
+		t.Error("unknown severity must be rejected")
+	}
+}
+
+func contains(s, sub string) bool { return len(s) >= len(sub) && indexOf(s, sub) >= 0 }
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestDiagnosticIDsStable pins the metrics contract: the ID list is
+// sorted-unique and every emitted diagnostic uses a listed ID.
+func TestDiagnosticIDsStable(t *testing.T) {
+	ids := DiagnosticIDs()
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate ID %s", id)
+		}
+		seen[id] = true
+	}
+	src := cyclicSRs + `
+sr u: if pc(car, x) & x.p < 1 & x.p > 2 then add ftcontains(x, "z")
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`
+	for _, d := range mustVet(t, src, `//car[./description[. ftcontains "alpha" and . ftcontains "beta"]]`) {
+		if !seen[d.ID] {
+			t.Errorf("diagnostic %s not in DiagnosticIDs()", d.ID)
+		}
+	}
+}
+
+// FuzzVetProfile: any profile the parser accepts must vet without
+// panicking, deterministically, with the sorted-output invariant.
+func FuzzVetProfile(f *testing.F) {
+	seeds := []string{
+		`sr p1 priority 1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(car, "good condition")`,
+		`sr p2: if pc(a,b) then add pc(b,c) & c > 1`,
+		`sr p3: if ad(a,b) then replace ftcontains(b, "x") with ftcontains(b, "y")`,
+		`sr r: if pc(a,b) then relax pc(a,b)`,
+		`vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y`,
+		`vor w2 priority 1: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y`,
+		"order colors: red > blue > green\nvor w: x.tag = c & y.tag = c & colors(x.a, y.a) => x < y",
+		`kor k weight 0.5: x.tag = abs & y.tag = abs & ftcontains(x, "data cube") => x < y`,
+		"vor w1: x.tag = car & y.tag = car & x.color = \"red\" & y.color != \"red\" => x < y\nvor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y",
+		cyclicSRs,
+		`sr u: if pc(car, x) & x.p < 1 & x.p > 2 then add ftcontains(x, "z")`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	q := tpq.MustParse(`//car[./description[. ftcontains "alpha" and . ftcontains "beta"] and price < 100]`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := profile.ParseProfile(src)
+		if err != nil {
+			return
+		}
+		ds1 := Vet(p, q)
+		ds2 := Vet(p, q)
+		if !reflect.DeepEqual(ds1, ds2) {
+			t.Fatalf("vet not deterministic:\n%v\nvs\n%v\nsrc: %q", ds1, ds2, src)
+		}
+		for i, d := range ds1 {
+			if d.ID == "" || d.Message == "" {
+				t.Fatalf("empty diagnostic %+v", d)
+			}
+			if i > 0 && ds1[i-1].Severity > d.Severity {
+				t.Fatalf("unsorted output: %v", ds1)
+			}
+		}
+	})
+}

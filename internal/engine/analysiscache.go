@@ -1,0 +1,287 @@
+// Memoized profile/query analysis. The Section 5 analyses and the vet
+// suite are pure functions of the profile (and query), so a warm server
+// should never pay for re-analysis on the request path: verdicts are
+// cached under the profile fingerprint (plus the canonical query string
+// for query-scoped work), single-flight like the result cache, and the
+// stored artifacts (encoded query, applied-rule list, diagnostics) are
+// shared copy-on-write — every consumer treats them as immutable.
+//
+// Unlike the serving layer's ResultCache, analysis *errors* are cached
+// inside the verdict values: an ambiguous profile is deterministically
+// ambiguous, so recomputing the rejection per request would defeat the
+// cache. The only error do() itself can return is the caller's context
+// expiring while a fill is in flight.
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/profile"
+	"repro/internal/tpq"
+)
+
+// ProfileFingerprint hashes a profile's canonical serialization; equal
+// fingerprints mean the profiles analyze (and rank) identically. The
+// fingerprint is document-independent, so one AnalysisCache serves every
+// engine in a registry.
+func ProfileFingerprint(p *profile.Profile) string {
+	sum := sha256.Sum256([]byte(CanonicalProfile(p)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// ProfileVerdict is the cached outcome of the profile-scoped analyses:
+// the vet diagnostics and the Section 5.2 ambiguity gate.
+type ProfileVerdict struct {
+	Fingerprint string
+	// Diags is VetProfile's output (sorted, canonical witnesses).
+	Diags []analysis.Diagnostic
+	// AmbiguityErr is the Search-blocking rejection, nil when the VOR
+	// set is unambiguous under priorities.
+	AmbiguityErr error
+}
+
+// QueryVerdict is the cached outcome of analyzing one (profile, query)
+// pair: the single-plan flock encoding Search executes, plus the
+// query-scoped vet diagnostics.
+type QueryVerdict struct {
+	// Encoded is the flock encoded into a single query (Section 6.2);
+	// nil when ConflictErr is set. Consumers must not mutate it.
+	Encoded *tpq.Query
+	// Applied lists the scoping rules applied during encoding.
+	Applied []string
+	// Diags is VetQuery's output.
+	Diags []analysis.Diagnostic
+	// ConflictErr is the Section 5.1 rejection (conflict cycle), nil
+	// when an application order exists.
+	ConflictErr error
+}
+
+// AnalysisCacheStats is a snapshot of cache behavior plus the cumulative
+// per-diagnostic-class counts observed by fills — the source for the
+// /metrics counters.
+type AnalysisCacheStats struct {
+	Hits, Misses, Coalesced uint64
+	Evictions               uint64
+	Entries, Capacity       int
+	// Diagnostics maps check ID -> number of diagnostics produced by
+	// analysis fills (each unique profile/query analyzed counts once,
+	// not once per request — cache hits don't re-count).
+	Diagnostics map[string]uint64
+}
+
+// AnalysisCache memoizes ProfileVerdict and QueryVerdict values under an
+// LRU with single-flight fills.
+type AnalysisCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*acEntry
+	head     *acEntry // most recently used
+	tail     *acEntry // least recently used
+	inflight map[string]*acCall
+
+	hits, misses, coalesced, evictions uint64
+	diagCounts                         map[string]uint64
+}
+
+type acEntry struct {
+	key        string
+	val        any
+	prev, next *acEntry
+}
+
+type acCall struct {
+	done chan struct{}
+	val  any
+}
+
+// NewAnalysisCache returns a cache holding up to capacity verdicts
+// (minimum 2: a profile verdict and one query verdict).
+func NewAnalysisCache(capacity int) *AnalysisCache {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &AnalysisCache{
+		capacity:   capacity,
+		entries:    make(map[string]*acEntry),
+		inflight:   make(map[string]*acCall),
+		diagCounts: make(map[string]uint64),
+	}
+}
+
+// ProfileVerdict returns the memoized profile-scoped analysis of p. The
+// error is non-nil only when ctx expires while another goroutine's fill
+// is still running; analysis rejections live in the verdict itself.
+func (c *AnalysisCache) ProfileVerdict(ctx context.Context, p *profile.Profile) (*ProfileVerdict, error) {
+	fp := ProfileFingerprint(p)
+	v, err := c.do(ctx, "p\x1f"+fp, func() any {
+		pv := &ProfileVerdict{Fingerprint: fp, Diags: analysis.VetProfile(p)}
+		if rep := analysis.DetectAmbiguityPrioritized(p.VORs); rep.Ambiguous {
+			pv.AmbiguityErr = fmt.Errorf(
+				"engine: ambiguous value-based ordering rules (cycle %v): %s",
+				rep.Cycle, rep.Suggestion)
+		}
+		c.countDiags(pv.Diags)
+		return pv
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ProfileVerdict), nil
+}
+
+// QueryVerdict returns the memoized (profile, query) analysis: the
+// single-plan flock encoding plus query-scoped diagnostics.
+func (c *AnalysisCache) QueryVerdict(ctx context.Context, p *profile.Profile, q *tpq.Query) (*QueryVerdict, error) {
+	key := "q\x1f" + ProfileFingerprint(p) + "\x1f" + q.String()
+	v, err := c.do(ctx, key, func() any {
+		qv := &QueryVerdict{Diags: analysis.VetQuery(p, q)}
+		qv.Encoded, qv.Applied, qv.ConflictErr = analysis.EncodeFlock(p.SRs, q)
+		c.countDiags(qv.Diags)
+		return qv
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*QueryVerdict), nil
+}
+
+// do is the single-flight LRU lookup. The fill runs in its own goroutine
+// detached from ctx, so a follower outlives a cancelled leader: whoever
+// triggered the fill giving up does not abort it, and every waiter with
+// a live context still receives the value.
+func (c *AnalysisCache) do(ctx context.Context, key string, fill func() any) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.touch(e)
+		v := e.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.val, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &acCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	go func() {
+		call.val = fill()
+		c.mu.Lock()
+		c.insert(key, call.val)
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(call.done)
+	}()
+
+	select {
+	case <-call.done:
+		return call.val, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// touch moves e to the MRU position. Caller holds mu.
+func (c *AnalysisCache) touch(e *acEntry) {
+	if c.head == e {
+		return
+	}
+	// unlink
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	// relink at head
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// insert stores a new entry at MRU, evicting LRU past capacity. Caller
+// holds mu.
+func (c *AnalysisCache) insert(key string, val any) {
+	if e, ok := c.entries[key]; ok {
+		e.val = val
+		c.touch(e)
+		return
+	}
+	e := &acEntry{key: key, val: val}
+	c.entries[key] = e
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+	for len(c.entries) > c.capacity && c.tail != nil {
+		victim := c.tail
+		c.tail = victim.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		} else {
+			c.head = nil
+		}
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+}
+
+// RecordDiagnostics folds externally-produced diagnostics into the
+// per-class counters — the serving layer uses it for findings that
+// never reach a fill (e.g. a duplicate-identifier rejection raised
+// during profile parsing, before analysis can run).
+func (c *AnalysisCache) RecordDiagnostics(ds []analysis.Diagnostic) { c.countDiags(ds) }
+
+func (c *AnalysisCache) countDiags(ds []analysis.Diagnostic) {
+	c.mu.Lock()
+	for _, d := range ds {
+		c.diagCounts[d.ID]++
+	}
+	c.mu.Unlock()
+}
+
+// Stats snapshots the counters. The Diagnostics map is a copy.
+func (c *AnalysisCache) Stats() AnalysisCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	diags := make(map[string]uint64, len(c.diagCounts))
+	for k, v := range c.diagCounts {
+		diags[k] = v
+	}
+	return AnalysisCacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Coalesced:   c.coalesced,
+		Evictions:   c.evictions,
+		Entries:     len(c.entries),
+		Capacity:    c.capacity,
+		Diagnostics: diags,
+	}
+}

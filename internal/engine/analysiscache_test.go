@@ -1,0 +1,380 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/profile"
+	"repro/internal/tpq"
+)
+
+const ambiguousVORs = `
+vor w1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" => x < y
+vor w2: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y
+`
+
+// cyclicSRs conflict on any query carrying both phrases: each removes
+// the predicate the other's condition needs.
+const cyclicSRs = `
+sr p1: if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(description, "good condition")
+sr p3: if pc(car, description) & ftcontains(description, "good condition") then remove ftcontains(description, "low mileage")
+`
+
+func TestAnalysisCacheProfileVerdict(t *testing.T) {
+	c := NewAnalysisCache(8)
+	clean := profile.MustParseProfile(fig2Rules)
+	ctx := context.Background()
+
+	pv1, err := c.ProfileVerdict(ctx, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv1.AmbiguityErr != nil {
+		t.Fatalf("clean profile verdict carries %v", pv1.AmbiguityErr)
+	}
+	pv2, err := c.ProfileVerdict(ctx, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv1 != pv2 {
+		t.Error("second lookup should return the cached verdict pointer")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit", st)
+	}
+
+	// An analysis rejection is cached inside the verdict, not surfaced as
+	// a do() error.
+	amb := profile.MustParseProfile(ambiguousVORs)
+	pv3, err := c.ProfileVerdict(ctx, amb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv3.AmbiguityErr == nil || !strings.Contains(pv3.AmbiguityErr.Error(), "ambiguous") {
+		t.Fatalf("ambiguity verdict = %v", pv3.AmbiguityErr)
+	}
+	pv4, _ := c.ProfileVerdict(ctx, amb)
+	if pv4.AmbiguityErr != pv3.AmbiguityErr {
+		t.Error("cached rejection should be the same error value")
+	}
+	if analysis.ErrorCount(pv3.Diags) == 0 {
+		t.Error("ambiguous profile should carry an error diagnostic")
+	}
+
+	// Diagnostics are counted once per fill, not once per request.
+	d0 := c.Stats().Diagnostics[analysis.DiagVORAmbiguous]
+	c.ProfileVerdict(ctx, amb)
+	c.ProfileVerdict(ctx, amb)
+	if d1 := c.Stats().Diagnostics[analysis.DiagVORAmbiguous]; d1 != d0 {
+		t.Errorf("cache hits re-counted diagnostics: %d -> %d", d0, d1)
+	}
+}
+
+func TestAnalysisCacheQueryVerdict(t *testing.T) {
+	c := NewAnalysisCache(8)
+	ctx := context.Background()
+	q := tpq.MustParse(paperQ)
+
+	clean := profile.MustParseProfile(fig2Rules)
+	qv, err := c.QueryVerdict(ctx, clean, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qv.ConflictErr != nil || qv.Encoded == nil {
+		t.Fatalf("clean verdict = %+v", qv)
+	}
+	qv2, _ := c.QueryVerdict(ctx, clean, q)
+	if qv2.Encoded != qv.Encoded {
+		t.Error("encoded query should be shared copy-on-write, not re-encoded")
+	}
+
+	cyclic := profile.MustParseProfile(cyclicSRs)
+	qv3, err := c.QueryVerdict(ctx, cyclic, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qv3.ConflictErr == nil || qv3.Encoded != nil {
+		t.Fatalf("cyclic verdict = %+v", qv3)
+	}
+}
+
+func TestAnalysisCacheEviction(t *testing.T) {
+	c := NewAnalysisCache(2)
+	ctx := context.Background()
+	profs := []*profile.Profile{
+		profile.MustParseProfile(fig2Rules),
+		profile.MustParseProfile(ambiguousVORs),
+		profile.MustParseProfile(cyclicSRs),
+	}
+	for _, p := range profs {
+		if _, err := c.ProfileVerdict(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries and 1 eviction", st)
+	}
+	// The oldest profile was evicted: looking it up again is a miss.
+	c.ProfileVerdict(ctx, profs[0])
+	if st = c.Stats(); st.Misses != 4 {
+		t.Errorf("evicted entry should refill: %+v", st)
+	}
+	// The newest is still resident.
+	c.ProfileVerdict(ctx, profs[2])
+	if st2 := c.Stats(); st2.Hits != st.Hits+1 {
+		t.Errorf("resident entry should hit: %+v", st2)
+	}
+}
+
+// TestAnalysisCacheFollowerOutlivesLeader: the goroutine that triggers a
+// fill cancelling its context must not abort the fill — a later waiter
+// still receives the value.
+func TestAnalysisCacheFollowerOutlivesLeader(t *testing.T) {
+	c := NewAnalysisCache(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderCtx, cancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.do(leaderCtx, "k", func() any {
+			close(started)
+			<-release
+			return "value"
+		})
+		leaderErr <- err
+	}()
+	<-started
+	cancel() // leader gives up mid-fill
+
+	if err := <-leaderErr; err != context.Canceled {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+
+	// Follower joins the (still running) fill with a live context.
+	followerDone := make(chan any, 1)
+	go func() {
+		v, err := c.do(context.Background(), "k", func() any {
+			t.Error("follower must coalesce, not refill")
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		followerDone <- v
+	}()
+
+	// Give the follower time to register as coalesced, then finish the
+	// fill.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Coalesced == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if v := <-followerDone; v != "value" {
+		t.Fatalf("follower got %v", v)
+	}
+	if _, err := c.do(context.Background(), "k", func() any {
+		t.Error("value must be cached after the fill")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchUsesAnalysisCache: a cached engine returns the same results
+// and the same rejections as the inline path, and repeat searches hit.
+func TestSearchUsesAnalysisCache(t *testing.T) {
+	cached := newEngine(t)
+	ac := NewAnalysisCache(16)
+	cached.UseAnalysisCache(ac)
+	inline := newEngine(t)
+
+	q := func() *tpq.Query { return tpq.MustParse(paperQ) }
+	prof := profile.MustParseProfile(fig2Rules)
+
+	r1, err := cached.Search(Request{Query: q(), Profile: prof, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := inline.Search(Request{Query: q(), Profile: prof, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Results) != len(r2.Results) {
+		t.Fatalf("cached %d results vs inline %d", len(r1.Results), len(r2.Results))
+	}
+	for i := range r1.Results {
+		if r1.Results[i].Path != r2.Results[i].Path {
+			t.Fatalf("result %d: %s vs %s", i, r1.Results[i].Path, r2.Results[i].Path)
+		}
+	}
+
+	// Second search on the warm cache: no new analysis fills.
+	st0 := ac.Stats()
+	if _, err := cached.Search(Request{Query: q(), Profile: prof, K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	st1 := ac.Stats()
+	if st1.Misses != st0.Misses {
+		t.Errorf("warm search re-analyzed: %+v -> %+v", st0, st1)
+	}
+	if st1.Hits <= st0.Hits {
+		t.Errorf("warm search should hit: %+v -> %+v", st0, st1)
+	}
+
+	// Rejection parity: identical error strings on both paths.
+	for _, src := range []string{ambiguousVORs, cyclicSRs} {
+		p := profile.MustParseProfile(src)
+		_, errC := cached.Search(Request{Query: q(), Profile: p, K: 5})
+		_, errI := inline.Search(Request{Query: q(), Profile: p, K: 5})
+		if errC == nil || errI == nil {
+			t.Fatalf("both paths must reject %q: cached=%v inline=%v", src[:20], errC, errI)
+		}
+		if errC.Error() != errI.Error() {
+			t.Errorf("error text diverged:\ncached: %v\ninline: %v", errC, errI)
+		}
+	}
+}
+
+// TestVetVerdictMatchesSearch is the property test behind `pimento vet`:
+// a profile with no error-severity diagnostics is accepted by Search,
+// and a profile with an error diagnostic is rejected — under both the
+// cached and the inline analysis paths.
+func TestVetVerdictMatchesSearch(t *testing.T) {
+	srSets := []string{
+		"",
+		"sr p1 priority 1: if pc(car, description) & ftcontains(description, \"low mileage\") then remove ftcontains(description, \"good condition\")\n",
+		cyclicSRs,
+		"sr u: if pc(car, d) & d.p < 1 & d.p > 2 then add ftcontains(d, \"z\")\n", // warn only
+	}
+	vorSets := []string{
+		"",
+		ambiguousVORs,
+		"vor w1 priority 2: x.tag = car & y.tag = car & x.color = \"red\" & y.color != \"red\" => x < y\nvor w2 priority 1: x.tag = car & y.tag = car & x.mileage < y.mileage => x < y\n",
+		"vor d: x.tag = car & y.tag = car & x.hp < 100 & x.hp > 200 & x.m < y.m => x < y\n", // warn only
+	}
+	queries := []string{
+		paperQ,
+		`//car[./description[. ftcontains "good condition"]]`,
+	}
+
+	cached := newEngine(t)
+	cached.UseAnalysisCache(NewAnalysisCache(64))
+	inline := newEngine(t)
+
+	for _, srs := range srSets {
+		for _, vors := range vorSets {
+			src := srs + vors + "rank K,V,S\n"
+			p := profile.MustParseProfile(src)
+			for _, qs := range queries {
+				q := tpq.MustParse(qs)
+				wantClean := analysis.ErrorCount(analysis.Vet(p, q)) == 0
+				for name, e := range map[string]*Engine{"cached": cached, "inline": inline} {
+					_, err := e.Search(Request{Query: tpq.MustParse(qs), Profile: p, K: 3})
+					if accepted := err == nil; accepted != wantClean {
+						t.Errorf("%s engine: vet clean=%v but Search err=%v\nprofile:\n%s\nquery: %s",
+							name, wantClean, err, src, qs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnalysisCacheStress drives concurrent searches and direct cache
+// lookups over shared and distinct profiles under -race, then gates on
+// goroutine leaks (detached fills must all finish).
+func TestAnalysisCacheStress(t *testing.T) {
+	e := newEngine(t)
+	ac := NewAnalysisCache(4) // small: force evictions under load
+	e.UseAnalysisCache(ac)
+
+	profSrcs := []string{fig2Rules, ambiguousVORs, cyclicSRs,
+		"sr p2 priority 2: if pc(car, description) & ftcontains(description, \"good condition\") then add ftcontains(description, \"american\")\nrank K,V,S\n"}
+	queries := []string{paperQ, `//car[./description[. ftcontains "good condition"]]`}
+
+	before := runtime.NumGoroutine()
+
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				src := profSrcs[(w+i)%len(profSrcs)]
+				p, err := profile.ParseProfile(src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				q := tpq.MustParse(queries[i%len(queries)])
+				ctx := context.Background()
+				timed := i%7 == 3
+				if timed {
+					// Some callers give up almost immediately; the
+					// detached fill must still complete for everyone
+					// else. (The plan layer reports deadline expiry by
+					// wall clock, possibly before ctx.Err() flips, so
+					// ctx errors are judged by this flag, not ctx.Err.)
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Microsecond)
+					defer cancel()
+				}
+				switch i % 3 {
+				case 0:
+					_, err = e.SearchContext(ctx, Request{Query: q, Profile: p, K: 3})
+					if err != nil && !timed &&
+						!strings.Contains(err.Error(), "ambiguous") &&
+						!strings.Contains(err.Error(), "conflict") {
+						t.Errorf("unexpected search error: %v", err)
+					}
+				case 1:
+					if _, err := ac.ProfileVerdict(ctx, p); err != nil && !timed {
+						t.Errorf("profile verdict: %v", err)
+					}
+				case 2:
+					if _, err := ac.QueryVerdict(ctx, p, q); err != nil && !timed {
+						t.Errorf("query verdict: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := ac.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("stress should exercise both hits and misses: %+v", st)
+	}
+	if st.Entries > st.Capacity {
+		t.Errorf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before stress, %d after settle\n%s", before, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

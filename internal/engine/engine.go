@@ -32,7 +32,17 @@ type Engine struct {
 
 	fpOnce sync.Once
 	fp     string
+
+	// ac, when set via UseAnalysisCache, memoizes profile/query analysis
+	// so repeated requests with the same profile skip re-running the
+	// Section 5 checks and flock encoding.
+	ac *AnalysisCache
 }
+
+// UseAnalysisCache attaches a (possibly shared) analysis cache; Search
+// then reuses memoized ambiguity/conflict verdicts and flock encodings
+// instead of recomputing them per request. Passing nil detaches.
+func (e *Engine) UseAnalysisCache(c *AnalysisCache) { e.ac = c }
 
 // New indexes doc under the given text pipeline and returns an engine.
 func New(doc *xmldoc.Document, pipe text.Pipeline) *Engine {
@@ -155,19 +165,42 @@ func (e *Engine) SearchContext(ctx context.Context, req Request) (*Response, err
 	var applied []string
 	if req.Profile != nil {
 		endAnalyze := tr.Start("analyze")
-		if rep := analysis.DetectAmbiguityPrioritized(req.Profile.VORs); rep.Ambiguous {
-			return nil, fmt.Errorf(
-				"engine: ambiguous value-based ordering rules (cycle %v): %s",
-				rep.Cycle, rep.Suggestion)
-		}
-		if req.LiteralRewrite {
-			return e.literalFlockSearch(ctx, req, k, strat, start)
-		}
-		var err error
-		q, applied, err = analysis.EncodeFlock(req.Profile.SRs, req.Query)
-		endAnalyze()
-		if err != nil {
-			return nil, err
+		if e.ac != nil && !req.LiteralRewrite {
+			// Memoized path: the ambiguity gate, flock encoding and vet
+			// diagnostics come from the shared analysis cache; only the
+			// first request per profile (and per profile+query) pays for
+			// analysis.
+			pv, err := e.ac.ProfileVerdict(ctx, req.Profile)
+			if err != nil {
+				return nil, err
+			}
+			if pv.AmbiguityErr != nil {
+				return nil, pv.AmbiguityErr
+			}
+			qv, err := e.ac.QueryVerdict(ctx, req.Profile, req.Query)
+			endAnalyze()
+			if err != nil {
+				return nil, err
+			}
+			if qv.ConflictErr != nil {
+				return nil, qv.ConflictErr
+			}
+			q, applied = qv.Encoded, qv.Applied
+		} else {
+			if rep := analysis.DetectAmbiguityPrioritized(req.Profile.VORs); rep.Ambiguous {
+				return nil, fmt.Errorf(
+					"engine: ambiguous value-based ordering rules (cycle %v): %s",
+					rep.Cycle, rep.Suggestion)
+			}
+			if req.LiteralRewrite {
+				return e.literalFlockSearch(ctx, req, k, strat, start)
+			}
+			var err error
+			q, applied, err = analysis.EncodeFlock(req.Profile.SRs, req.Query)
+			endAnalyze()
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if req.Thesaurus != nil && req.Thesaurus.Len() > 0 {

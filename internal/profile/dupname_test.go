@@ -1,0 +1,78 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDuplicateRuleIdentifiers pins the P001 parse-time rejection:
+// rule names share one namespace across sr/vor/kor declarations.
+func TestDuplicateRuleIdentifiers(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string // "" = must parse
+	}{
+		{
+			name: "distinct names accepted",
+			src: `sr a: if pc(car, d) then add ftcontains(d, "x")
+vor b: x.tag = car & y.tag = car & x.m < y.m => x < y
+kor c: x.tag = car & y.tag = car & ftcontains(x, "bid") => x < y`,
+		},
+		{
+			name: "same body different names accepted",
+			src: `sr a: if pc(car, d) then add ftcontains(d, "x")
+sr b: if pc(car, d) then add ftcontains(d, "x")`,
+		},
+		{
+			name: "duplicate sr name rejected",
+			src: `sr a: if pc(car, d) then add ftcontains(d, "x")
+sr a: if pc(car, d) then remove ftcontains(d, "x")`,
+			wantErr: "[P001]",
+		},
+		{
+			name: "duplicate vor name rejected",
+			src: `vor w: x.tag = car & y.tag = car & x.m < y.m => x < y
+vor w: x.tag = car & y.tag = car & x.p < y.p => x < y`,
+			wantErr: "[P001]",
+		},
+		{
+			name: "duplicate kor name rejected",
+			src: `kor k: x.tag = car & y.tag = car & ftcontains(x, "a") => x < y
+kor k: x.tag = car & y.tag = car & ftcontains(x, "b") => x < y`,
+			wantErr: "[P001]",
+		},
+		{
+			name: "vor reusing sr name rejected",
+			src: `sr w: if pc(car, d) then add ftcontains(d, "x")
+vor w: x.tag = car & y.tag = car & x.m < y.m => x < y`,
+			wantErr: "already used by a sr [P001]",
+		},
+		{
+			name: "kor reusing vor name rejected",
+			src: `vor w: x.tag = car & y.tag = car & x.m < y.m => x < y
+kor w: x.tag = car & y.tag = car & ftcontains(x, "bid") => x < y`,
+			wantErr: "already used by a vor [P001]",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := ParseProfile(c.src)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want accepted, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want rejection, parsed %v", p)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Errorf("error %q should carry the offending line", err)
+			}
+		})
+	}
+}

@@ -78,6 +78,35 @@ func cutWord(s string) (word, rest string) {
 	return s[:i], strings.TrimSpace(s[i:])
 }
 
+// checkRuleName rejects a rule identifier already taken by any sr, vor
+// or kor: rules share one namespace (diagnostics and witnesses refer to
+// them by name), so a collision would make every report ambiguous. The
+// error carries the vet check ID P001.
+func checkRuleName(p *Profile, kind, name string) error {
+	clash := func(otherKind string) error {
+		if kind == otherKind {
+			return fmt.Errorf("%s %s: duplicate rule identifier [P001]", kind, name)
+		}
+		return fmt.Errorf("%s %s: rule identifier already used by a %s [P001]", kind, name, otherKind)
+	}
+	for _, sr := range p.SRs {
+		if sr.Name == name {
+			return clash("sr")
+		}
+	}
+	for _, v := range p.VORs {
+		if v.Name == name {
+			return clash("vor")
+		}
+	}
+	for _, k := range p.KORs {
+		if k.Name == name {
+			return clash("kor")
+		}
+	}
+	return nil
+}
+
 // parseHeader consumes "NAME [priority N] [weight W] :" and returns the
 // remainder after the colon.
 func parseHeader(s string) (name string, priority int, weight float64, rest string, err error) {
@@ -175,6 +204,9 @@ func parseSRDecl(p *Profile, s string) error {
 	name, priority, weight, rest, err := parseHeader(s)
 	if err != nil {
 		return fmt.Errorf("sr: %w", err)
+	}
+	if err := checkRuleName(p, "sr", name); err != nil {
+		return err
 	}
 	var kw string
 	kw, rest = cutWord(rest)
@@ -431,6 +463,9 @@ func parseVORDecl(p *Profile, s string) error {
 	if err != nil {
 		return fmt.Errorf("vor: %w", err)
 	}
+	if err := checkRuleName(p, "vor", name); err != nil {
+		return err
+	}
 	body, xVar, yVar, err := splitConclusion(rest)
 	if err != nil {
 		return fmt.Errorf("vor %s: %w", name, err)
@@ -602,6 +637,9 @@ func parseKORDecl(p *Profile, s string) error {
 	name, priority, weight, rest, err := parseHeader(s)
 	if err != nil {
 		return fmt.Errorf("kor: %w", err)
+	}
+	if err := checkRuleName(p, "kor", name); err != nil {
+		return err
 	}
 	body, xVar, yVar, err := splitConclusion(rest)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/analysis"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 )
@@ -30,7 +31,7 @@ var opKinds = []string{
 var stageNames = []string{"analyze", "rewrite", "build", "execute", "rank"}
 
 // endpointNames is the HTTP endpoint label set.
-var endpointNames = []string{"search", "explain", "healthz", "statsz", "metrics"}
+var endpointNames = []string{"search", "explain", "lint", "healthz", "statsz", "metrics"}
 
 // errorClasses is the error-classification label set (see
 // classifySearchError and writeError).
@@ -60,6 +61,12 @@ type serverMetrics struct {
 	cacheEntries   *metrics.Gauge
 	cacheCapacity  *metrics.Gauge
 	docs           *metrics.Gauge
+
+	// Analysis-cache mirrors (authoritative counters live in
+	// engine.AnalysisCache, synced at scrape like the result cache).
+	analysisRequests map[string]*metrics.Counter // by outcome
+	analysisEntries  *metrics.Gauge
+	diagnostics      map[string]*metrics.Counter // by check ID
 
 	opWall    map[string]*metrics.Counter // by op kind
 	opAnswers map[[2]string]*metrics.Counter
@@ -109,6 +116,21 @@ func newServerMetrics() *serverMetrics {
 		"Result-cache capacity in entries.", nil)
 	m.docs = reg.Gauge("pimento_docs",
 		"Documents registered.", nil)
+	m.analysisRequests = make(map[string]*metrics.Counter, len(cacheOutcomes))
+	for _, o := range cacheOutcomes {
+		m.analysisRequests[o] = reg.Counter("pimento_analysis_cache_requests_total",
+			"Analysis-verdict cache lookups (profile/query static analysis), by outcome.",
+			metrics.Labels{"outcome": o})
+	}
+	m.analysisEntries = reg.Gauge("pimento_analysis_cache_entries",
+		"Analysis-verdict cache entries resident.", nil)
+	ids := analysis.DiagnosticIDs()
+	m.diagnostics = make(map[string]*metrics.Counter, len(ids))
+	for _, id := range ids {
+		m.diagnostics[id] = reg.Counter("pimento_diagnostics_total",
+			"Vet diagnostics produced by analysis fills, by check ID (each unique profile/query analyzed counts once).",
+			metrics.Labels{"check": id})
+	}
 	for _, k := range opKinds {
 		m.opWall[k] = reg.Counter("pimento_plan_operator_wall_nanoseconds_total",
 			"Wall time spent inside plan operators (inclusive of upstream), by operator kind.",
@@ -193,9 +215,10 @@ func (m *serverMetrics) recordPlanStats(stats []algebra.OpStats) {
 }
 
 // syncGauges refreshes the scrape-time mirrors: cache counters live in
-// ResultCache (authoritative), document count in the registry. Counter
-// totals are monotone in the source, so Store is safe here.
-func (m *serverMetrics) syncGauges(docs int, cs CacheStats) {
+// ResultCache and engine.AnalysisCache (authoritative), document count
+// in the registry. Counter totals are monotone in the sources, so Store
+// is safe here.
+func (m *serverMetrics) syncGauges(docs int, cs CacheStats, as engine.AnalysisCacheStats) {
 	m.docs.Set(int64(docs))
 	m.cacheRequests["hit"].Store(cs.Hits)
 	m.cacheRequests["miss"].Store(cs.Misses)
@@ -203,4 +226,13 @@ func (m *serverMetrics) syncGauges(docs int, cs CacheStats) {
 	m.cacheEvictions.Store(cs.Evictions)
 	m.cacheEntries.Set(int64(cs.Entries))
 	m.cacheCapacity.Set(int64(cs.Capacity))
+	m.analysisRequests["hit"].Store(int64(as.Hits))
+	m.analysisRequests["miss"].Store(int64(as.Misses))
+	m.analysisRequests["coalesced"].Store(int64(as.Coalesced))
+	m.analysisEntries.Set(int64(as.Entries))
+	for id, n := range as.Diagnostics {
+		if c, ok := m.diagnostics[id]; ok {
+			c.Store(int64(n))
+		}
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/metrics"
 )
 
@@ -166,6 +167,7 @@ func TestMetricsLabelLint(t *testing.T) {
 		"op":       {"": opKinds},
 		"dir":      {"": answerDirs},
 		"stage":    {"": stageNames},
+		"check":    {"": analysis.DiagnosticIDs()},
 	}
 	for _, f := range scrape(t, ts) {
 		for _, s := range f.Samples {

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -64,6 +65,11 @@ type Config struct {
 	// SlowQueryLog overrides the slow-query sink (default: the standard
 	// logger). Tests inject a capture function here.
 	SlowQueryLog func(format string, args ...any)
+	// AnalysisCacheSize is the analysis-verdict cache capacity in
+	// entries (default 256). The cache is shared across every engine:
+	// profile analysis is document-independent, so a profile analyzed
+	// for one document is warm for all of them.
+	AnalysisCacheSize int
 }
 
 // Server serves personalized XML search over a registry of documents.
@@ -74,8 +80,9 @@ type Server struct {
 	mu      sync.RWMutex
 	engines map[string]*engine.Engine // lazily layered over registry indexes
 
-	cache *ResultCache
-	mux   *http.ServeMux
+	cache    *ResultCache
+	analysis *engine.AnalysisCache
+	mux      *http.ServeMux
 
 	stats   serverStats
 	metrics *serverMetrics
@@ -87,6 +94,7 @@ type Server struct {
 type serverStats struct {
 	searchRequests  atomic.Int64
 	explainRequests atomic.Int64
+	lintRequests    atomic.Int64
 	healthRequests  atomic.Int64
 	statsRequests   atomic.Int64
 	metricsRequests atomic.Int64
@@ -105,12 +113,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxK == 0 {
 		cfg.MaxK = 10000
 	}
+	if cfg.AnalysisCacheSize == 0 {
+		cfg.AnalysisCacheSize = 256
+	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     corpus.New(cfg.Pipeline),
-		engines: make(map[string]*engine.Engine),
-		cache:   NewResultCache(cfg.CacheSize),
-		metrics: newServerMetrics(),
+		cfg:      cfg,
+		reg:      corpus.New(cfg.Pipeline),
+		engines:  make(map[string]*engine.Engine),
+		cache:    NewResultCache(cfg.CacheSize),
+		analysis: engine.NewAnalysisCache(cfg.AnalysisCacheSize),
+		metrics:  newServerMetrics(),
 	}
 	if cfg.SlowQueryThreshold > 0 {
 		s.slowlog = newSlowQueryLogger(cfg.SlowQueryThreshold, cfg.SlowQueryLog,
@@ -119,6 +131,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", s.handleSearch)
 	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /lint", s.handleLint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -146,6 +159,7 @@ func (s *Server) Add(name string, doc *xmldoc.Document) {
 	ix, _ := s.reg.Index(name)
 	e := engine.FromParts(doc, ix)
 	e.Fingerprint()
+	e.UseAnalysisCache(s.analysis)
 	s.mu.Lock()
 	s.engines[name] = e
 	s.mu.Unlock()
@@ -166,6 +180,10 @@ func (s *Server) Docs() []string { return s.reg.Names() }
 
 // Cache exposes the result cache (for stats and tests).
 func (s *Server) Cache() *ResultCache { return s.cache }
+
+// AnalysisCache exposes the shared analysis-verdict cache (for stats
+// and tests).
+func (s *Server) AnalysisCache() *engine.AnalysisCache { return s.analysis }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -526,6 +544,118 @@ func querySource(sreq *SearchRequest) string {
 	return "keywords: " + sreq.Keywords
 }
 
+// LintRequest is the /lint body: a profile to vet, optionally against a
+// query (which enables the query-scoped checks: conflict cycles,
+// unsatisfiable rewrites, inert ordering rules).
+type LintRequest struct {
+	Profile string `json:"profile"`
+	Query   string `json:"query"`
+}
+
+// LintResponse reports the vet diagnostics for a (profile[, query])
+// pair. The payload is byte-stable for identical inputs: diagnostics
+// are sorted canonically, witnesses carry canonical cycle rotations,
+// and the per-check counts marshal with sorted keys.
+type LintResponse struct {
+	// Clean is true when no error-severity diagnostic was found; such a
+	// profile is accepted by /search (Section 5's gates pass).
+	Clean bool `json:"clean"`
+	// Errors is the number of error-severity diagnostics.
+	Errors int `json:"errors"`
+	// Diagnostics is the sorted findings list.
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	// Counts maps check ID -> occurrences in this response.
+	Counts map[string]int `json:"counts,omitempty"`
+}
+
+func lintResponse(ds []analysis.Diagnostic) *LintResponse {
+	resp := &LintResponse{
+		Errors:      analysis.ErrorCount(ds),
+		Diagnostics: ds,
+	}
+	resp.Clean = resp.Errors == 0
+	if len(ds) > 0 {
+		resp.Counts = make(map[string]int)
+		for _, d := range ds {
+			resp.Counts[d.ID]++
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	s.stats.lintRequests.Add(1)
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	done := s.metrics.startRequest("lint")
+	defer done()
+
+	var lreq LintRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&lreq); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parse", fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if lreq.Profile == "" {
+		s.writeError(w, http.StatusBadRequest, "parse", errors.New("profile is required"))
+		return
+	}
+	prof, err := profile.ParseProfile(lreq.Profile)
+	if err != nil {
+		// A duplicate rule identifier is a *finding*, not a malformed
+		// request: report it as the P001 diagnostic the parser's error
+		// cites. Anything else is a plain parse failure.
+		if strings.Contains(err.Error(), "["+analysis.DiagDuplicateName+"]") {
+			ds := []analysis.Diagnostic{{
+				ID:       analysis.DiagDuplicateName,
+				Severity: analysis.SevError,
+				Message:  err.Error(),
+			}}
+			s.analysis.RecordDiagnostics(ds)
+			s.writeJSON(w, http.StatusOK, lintResponse(ds))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "parse", err)
+		return
+	}
+	var q *tpq.Query
+	if lreq.Query != "" {
+		if q, err = tpq.Parse(lreq.Query); err != nil {
+			s.writeError(w, http.StatusBadRequest, "parse", err)
+			return
+		}
+	}
+	ds, err := s.vetDiagnostics(r.Context(), prof, q)
+	if err != nil {
+		s.writeSearchError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, lintResponse(ds))
+}
+
+// vetDiagnostics assembles the full diagnostics list for (prof[, q])
+// through the shared analysis cache, so repeated lints — and searches
+// with the same profile — hit memoized verdicts. The only possible
+// error is ctx expiring mid-fill.
+func (s *Server) vetDiagnostics(ctx context.Context, prof *profile.Profile, q *tpq.Query) ([]analysis.Diagnostic, error) {
+	pv, err := s.analysis.ProfileVerdict(ctx, prof)
+	if err != nil {
+		return nil, err
+	}
+	ds := append([]analysis.Diagnostic(nil), pv.Diags...)
+	if q != nil {
+		qv, err := s.analysis.QueryVerdict(ctx, prof, q)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, qv.Diags...)
+	}
+	analysis.SortDiagnostics(ds)
+	return ds, nil
+}
+
 // ExplainRequest is the /explain body.
 type ExplainRequest struct {
 	Query   string `json:"query"`
@@ -542,6 +672,9 @@ type ExplainResponse struct {
 	Applied     []string       `json:"applied_srs,omitempty"`
 	Flock       []string       `json:"flock,omitempty"`
 	Trace       []metrics.Span `json:"trace,omitempty"`
+	// Diagnostics is the vet suite's findings for (profile, query) —
+	// the same list POST /lint returns.
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -585,6 +718,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	for _, fq := range pa.Flock {
 		eresp.Flock = append(eresp.Flock, fq.String())
 	}
+	if ds, derr := s.vetDiagnostics(r.Context(), prof, q); derr == nil {
+		eresp.Diagnostics = ds
+	}
 	s.writeJSON(w, http.StatusOK, &eresp)
 }
 
@@ -605,7 +741,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.stats.metricsRequests.Add(1)
 	done := s.metrics.startRequest("metrics")
 	defer done()
-	s.metrics.syncGauges(s.reg.Len(), s.cache.Stats())
+	s.metrics.syncGauges(s.reg.Len(), s.cache.Stats(), s.analysis.Stats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.reg.WritePrometheus(w)
 }
@@ -620,6 +756,8 @@ type Statsz struct {
 	Canceled  int64            `json:"canceled"`
 	InFlight  int64            `json:"in_flight"`
 	Cache     CacheStats       `json:"cache"`
+	// Analysis is the shared analysis-verdict cache's counter block.
+	Analysis engine.AnalysisCacheStats `json:"analysis"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -636,6 +774,7 @@ func (s *Server) Snapshot() Statsz {
 		Endpoints: map[string]int64{
 			"search":  s.stats.searchRequests.Load(),
 			"explain": s.stats.explainRequests.Load(),
+			"lint":    s.stats.lintRequests.Load(),
 			"healthz": s.stats.healthRequests.Load(),
 			"statsz":  s.stats.statsRequests.Load(),
 			"metrics": s.stats.metricsRequests.Load(),
@@ -646,6 +785,7 @@ func (s *Server) Snapshot() Statsz {
 		Canceled:  s.stats.canceled.Load(),
 		InFlight:  s.stats.inFlight.Load(),
 		Cache:     s.cache.Stats(),
+		Analysis:  s.analysis.Stats(),
 	}
 }
 

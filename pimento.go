@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/index"
@@ -237,8 +238,14 @@ func Open(r io.Reader, opts ...Option) (*Engine, error) {
 	if o.scorer != nil {
 		e.Index().SetScorer(o.scorer)
 	}
+	e.UseAnalysisCache(engine.NewAnalysisCache(analysisCacheSize))
 	return &Engine{e: e, cache: newCache(o)}, nil
 }
+
+// analysisCacheSize is the per-engine analysis-verdict cache capacity:
+// profile/query analysis verdicts are small, so repeated searches with
+// the same profile skip the Section 5 analyses and flock encoding.
+const analysisCacheSize = 128
 
 // newCache builds the optional engine-level result cache.
 func newCache(o options) *server.ResultCache {
@@ -264,6 +271,7 @@ func OpenDocument(doc *Document, opts ...Option) *Engine {
 	if o.scorer != nil {
 		e.Index().SetScorer(o.scorer)
 	}
+	e.UseAnalysisCache(engine.NewAnalysisCache(analysisCacheSize))
 	return &Engine{e: e, cache: newCache(o)}
 }
 
@@ -324,6 +332,21 @@ func (e *Engine) SearchContext(ctx context.Context, q *Query, prof *Profile, opt
 func Analyze(prof *Profile, q *Query) *ProfileAnalysis {
 	return engine.AnalyzeProfile(prof, q)
 }
+
+// Diagnostic is one finding of the vet suite: a stable check ID, a
+// severity (error | warn | info), the affected rules, and a concrete
+// witness (conflict cycle, Lemma 5.1 alternating cycle, contradictory
+// predicate pair, ...).
+type Diagnostic = analysis.Diagnostic
+
+// Vet runs the profile/query static-analysis suite and returns its
+// findings, sorted canonically (byte-stable across runs). q may be nil
+// for profile-only checks. A profile with no error-severity diagnostics
+// is accepted by Search; one with an error diagnostic is rejected.
+func Vet(prof *Profile, q *Query) []Diagnostic { return analysis.Vet(prof, q) }
+
+// VetErrors counts the error-severity findings in a Vet result.
+func VetErrors(ds []Diagnostic) int { return analysis.ErrorCount(ds) }
 
 // Save writes a binary snapshot of the engine (document + index) so it
 // can be reopened with LoadEngine without re-parsing and re-indexing.

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Runs `pimento vet` over every example profile. Profiles named
+# *.bad.profile document known-broken inputs and must be *rejected*
+# (nonzero exit); every other profile must vet clean (exit 0).
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+
+bin="$(mktemp -d)/pimento"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+"$GO" build -o "$bin" ./cmd/pimento
+
+status=0
+for prof in examples/profiles/*.profile; do
+    case "$prof" in
+    *.bad.profile)
+        if out="$("$bin" vet -profile "$prof" 2>&1)"; then
+            echo "vet-profiles: $prof should have been rejected:"
+            echo "$out"
+            status=1
+        else
+            echo "vet-profiles: $prof rejected (as documented)"
+        fi
+        ;;
+    *)
+        if out="$("$bin" vet -profile "$prof" 2>&1)"; then
+            echo "vet-profiles: $prof clean"
+        else
+            echo "vet-profiles: $prof unexpectedly failed:"
+            echo "$out"
+            status=1
+        fi
+        ;;
+    esac
+done
+exit $status
