@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel metrics-lint profile vet-profiles
+.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel bench-twigjoin metrics-lint profile vet-profiles
 
 ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles
 
@@ -50,9 +50,10 @@ cover:
 		echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
 	done
 
-# A short fuzz pass over every fuzz target: the three parsers and the
-# /search handler. Catches regressions in input hardening without the
-# open-ended runtime of a real fuzz campaign.
+# A short fuzz pass over every fuzz target: the three parsers, the
+# /search handler, the profile vet, and the scan-vs-twigjoin access-path
+# differential. Catches regressions in input hardening and join
+# correctness without the open-ended runtime of a real fuzz campaign.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$' ./internal/tpq/
@@ -60,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParseProfile -fuzztime $(FUZZTIME) -run '^$$' ./internal/profile/
 	$(GO) test -fuzz FuzzSearchHandler -fuzztime $(FUZZTIME) -run '^$$' ./internal/server/
 	$(GO) test -fuzz FuzzVetProfile -fuzztime $(FUZZTIME) -run '^$$' ./internal/analysis/
+	$(GO) test -fuzz FuzzTwigJoin -fuzztime $(FUZZTIME) -run '^$$' ./internal/twig/
 
 # Metrics hygiene: the /metrics exposition must parse cleanly and every
 # label value must come from a compile-time-enumerable set (no dynamic
@@ -77,6 +79,11 @@ vet-profiles:
 # Regenerates BENCH_parallel.json (BENCHTIME=5s for stable numbers).
 bench-parallel:
 	scripts/bench_parallel.sh
+
+# Regenerates BENCH_twigjoin.json: scan vs holistic twig join across
+# plan strategies and document sizes (BENCHTIME=5s for stable numbers).
+bench-twigjoin:
+	scripts/bench_twigjoin.sh
 
 # Profiles pimentod under a Fig. 7-style workload: starts the daemon
 # with pprof enabled on -debug-addr, drives repeated personalized

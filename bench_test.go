@@ -16,15 +16,18 @@ package pimento
 // test are the shapes (sub-linear size scaling, Push ≤ Naive).
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/algebra"
 	"repro/internal/index"
 	"repro/internal/inex"
 	"repro/internal/plan"
 	"repro/internal/text"
+	"repro/internal/twig"
 	"repro/internal/workload"
 	"repro/internal/xmark"
 )
@@ -243,6 +246,96 @@ func BenchmarkAblationTwigAccess(b *testing.B) {
 				}
 				if got := p.Execute(); len(got) == 0 {
 					b.Fatal("no answers")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTwigJoin is the access-path comparison surface
+// scripts/bench_twigjoin.sh writes to BENCH_twigjoin.json:
+//
+//   - fig7: the four Fig. 7 plan strategies on the Fig. 5 workload
+//     (kors=4) at the large document, scan vs twigjoin;
+//   - size sweep: a structure-heavy query (three structural predicates,
+//     no full text) across 101K–5.7M, scan vs twigjoin;
+//   - access: the same query and sizes with the candidate generation
+//     isolated (matcher scan vs fused holistic join, no scoring
+//     pipeline) — the pure access-path speedup.
+//
+// The Fig. 5 query's cost is dominated by its full-text predicate, so
+// fig7 mostly bounds the twigjoin overhead on FT-heavy plans; the size
+// sweep and the access group carry the speedup claim.
+func BenchmarkTwigJoin(b *testing.B) {
+	accesses := []plan.AccessPath{plan.AccessScan, plan.AccessTwigJoin}
+	ix := xmarkIndex(fig7Size)
+	prof := workload.Fig5Profile(4)
+	for _, strat := range plan.Strategies {
+		for _, access := range accesses {
+			b.Run(fmt.Sprintf("fig7/plan=%s/access=%s", strat, access), func(b *testing.B) {
+				q := workload.Fig5Query()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p, err := plan.BuildWith(ix, q, prof, 10,
+						plan.Options{Strategy: strat, AccessPath: access})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := p.Execute(); len(got) == 0 {
+						b.Fatal("no answers")
+					}
+				}
+			})
+		}
+	}
+	for _, size := range benchSizes {
+		ix := xmarkIndex(size)
+		for _, access := range accesses {
+			b.Run(fmt.Sprintf("size=%s/access=%s", xmark.SizeLabel(size), access), func(b *testing.B) {
+				q := MustParseQuery(`//person[./address[./city and ./country] and .//business]`)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p, err := plan.BuildWith(ix, q, nil, 10,
+						plan.Options{Strategy: plan.Push, AccessPath: access})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := p.Execute(); len(got) == 0 {
+						b.Fatal("no answers")
+					}
+				}
+			})
+		}
+	}
+	for _, size := range benchSizes {
+		ix := xmarkIndex(size)
+		b.Run(fmt.Sprintf("access/size=%s/access=scan", xmark.SizeLabel(size)), func(b *testing.B) {
+			q := MustParseQuery(`//person[./address[./city and ./country] and .//business]`)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := algebra.NewMatcher(ix, q)
+				n := 0
+				for _, e := range ix.Elements("person") {
+					if m.MatchRequired(e) {
+						n++
+					}
+				}
+				if n == 0 {
+					b.Fatal("no candidates")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("access/size=%s/access=twigjoin", xmark.SizeLabel(size)), func(b *testing.B) {
+			q := MustParseQuery(`//person[./address[./city and ./country] and .//business]`)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := twig.NewEvaluator(ix, q)
+				ids, _, err := ev.Distinguished(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ids) == 0 {
+					b.Fatal("no candidates")
 				}
 			}
 		})

@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/inex"
+	"repro/internal/plan"
 )
 
 func main() {
@@ -32,7 +33,14 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink performance experiments for a fast run")
 	k := flag.Int("k", 10, "top-k result size for performance experiments")
 	par := flag.Int("par", 1, "plan-execution workers for fig6/fig7 (0 = GOMAXPROCS, 1 = sequential)")
+	accessName := flag.String("access", "auto", "candidate access path for fig6/fig7: auto | scan | twigjoin")
 	flag.Parse()
+
+	access, err := plan.ParseAccessPath(*accessName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -67,7 +75,7 @@ func main() {
 	})
 
 	run("fig6", func() error {
-		cfg := experiments.Fig6Config{Seed: *seed, K: *k, Parallelism: *par}
+		cfg := experiments.Fig6Config{Seed: *seed, K: *k, Parallelism: *par, Access: access}
 		if *quick {
 			cfg.Sizes = []int{101 * 1024, 212 * 1024, 468 * 1024}
 			cfg.Trials = 1
@@ -83,7 +91,7 @@ func main() {
 	})
 
 	run("fig7", func() error {
-		cfg := experiments.Fig7Config{Seed: *seed, K: *k, Parallelism: *par}
+		cfg := experiments.Fig7Config{Seed: *seed, K: *k, Parallelism: *par, Access: access}
 		if *quick {
 			cfg.SizeBytes = 1024 * 1024
 			cfg.Trials = 1

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/text"
 	"repro/internal/xmark"
@@ -58,6 +59,7 @@ func main() {
 	analysisCacheSize := flag.Int("analysis-cache", 256, "profile/query analysis verdict cache capacity in entries")
 	stem := flag.Bool("stem", true, "apply Porter stemming while indexing")
 	stopwords := flag.Bool("stopwords", false, "drop English stopwords while indexing")
+	access := flag.String("access", "auto", "default candidate access path: auto, scan, or twigjoin (requests override with their \"access\" field)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at least this slow, with plan and per-operator stats (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
@@ -67,6 +69,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	accessPath, err := plan.ParseAccessPath(*access)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimentod: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Pipeline:           text.Pipeline{Stem: *stem, DropStopwords: *stopwords},
@@ -74,6 +81,7 @@ func main() {
 		AnalysisCacheSize:  *analysisCacheSize,
 		DefaultTimeout:     *timeout,
 		SlowQueryThreshold: *slowQuery,
+		DefaultAccess:      accessPath,
 	})
 	defer srv.Close()
 

@@ -53,6 +53,7 @@ type Unit struct {
 type Matcher struct {
 	ix    *index.Index
 	doc   *xmldoc.Document
+	pos   xmldoc.Positions // flat (post, level) arrays; O(1) region tests
 	q     *tpq.Query
 	paths [][]step // per pattern node: steps from the distinguished node
 	units []Unit
@@ -70,7 +71,7 @@ type step struct {
 
 // NewMatcher prepares unit evaluation for q against the index.
 func NewMatcher(ix *index.Index, q *tpq.Query) *Matcher {
-	m := &Matcher{ix: ix, doc: ix.Document(), q: q}
+	m := &Matcher{ix: ix, doc: ix.Document(), pos: ix.Document().Pos(), q: q}
 	m.paths = make([][]step, len(q.Nodes))
 	for i := range q.Nodes {
 		m.paths[i] = m.pathFromDist(i)
@@ -280,14 +281,17 @@ func (m *Matcher) down(out, set []xmldoc.NodeID, tag string, axis tpq.Axis) []xm
 		}
 		return out
 	}
-	// Descendant axis: use the tag index and region ranges.
+	// Descendant axis: the tag index is preorder-sorted, so e's
+	// descendants are the contiguous run (e, post(e)] — found by one
+	// binary search, then walked with O(1) flat-array position tests (no
+	// Node struct loads on this hot path).
 	tagged := m.ix.Elements(tag)
 	for _, e := range set {
-		n := m.doc.Node(e)
+		post := m.pos.Post[e]
 		lo := sort.Search(len(tagged), func(i int) bool { return tagged[i] > e })
 		for i := lo; i < len(tagged); i++ {
 			d := tagged[i]
-			if m.doc.Node(d).Start > n.End {
+			if int32(d) > post {
 				break
 			}
 			out = appendUnique(out, d)

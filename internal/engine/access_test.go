@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+)
+
+func xmarkEngine(t testing.TB, size int) *Engine {
+	t.Helper()
+	return New(xmark.GenerateSized(xmark.Config{Seed: 42}, size), text.Pipeline{})
+}
+
+// responseKey flattens the ranked answers into one comparable string:
+// node IDs, paths and both score components, in order.
+func responseKey(resp *Response) string {
+	s := ""
+	for _, r := range resp.Results {
+		s += fmt.Sprintf("%d|%s|%g|%g;", r.Node, r.Path, r.S, r.K)
+	}
+	return s
+}
+
+// TestAccessPathsIdenticalResults: the scan and twigjoin access paths
+// must return byte-identical ranked answers on the paper's Fig. 6/7
+// workload and on structure-heavy queries, personalized and not.
+func TestAccessPathsIdenticalResults(t *testing.T) {
+	e := xmarkEngine(t, 101*1024)
+	queries := []*tpq.Query{
+		workload.Fig5Query(),
+		tpq.MustParse(`//person[./address[./city and ./country] and .//business]`),
+		tpq.MustParse(`//item[.//name]`),
+		tpq.MustParse(`//open_auction//bidder//increase`),
+	}
+	for qi, q := range queries {
+		for _, prof := range []int{0, 2} {
+			req := Request{Query: q, K: 10}
+			if prof > 0 {
+				req.Profile = workload.Fig5Profile(prof)
+			}
+			req.Access = plan.AccessScan
+			scan, err := e.Search(req)
+			if err != nil {
+				t.Fatalf("q%d scan: %v", qi, err)
+			}
+			req.Access = plan.AccessTwigJoin
+			twig, err := e.Search(req)
+			if err != nil {
+				t.Fatalf("q%d twigjoin: %v", qi, err)
+			}
+			if responseKey(scan) != responseKey(twig) {
+				t.Fatalf("q%d (kors=%d): results diverge\nscan: %s\ntwig: %s",
+					qi, prof, responseKey(scan), responseKey(twig))
+			}
+			if scan.Access != plan.AccessScan || twig.Access != plan.AccessTwigJoin {
+				t.Fatalf("resolved access = %s / %s", scan.Access, twig.Access)
+			}
+			if twig.TwigJoin == nil {
+				t.Fatalf("q%d: twigjoin response missing join stats", qi)
+			}
+			if scan.TwigJoin != nil {
+				t.Fatalf("q%d: scan response carries join stats", qi)
+			}
+		}
+	}
+}
+
+// TestTwigJoinPlanShape: the twigjoin access path surfaces itself in the
+// plan shape and the operator stats as a synthetic leading entry.
+func TestTwigJoinPlanShape(t *testing.T) {
+	e := xmarkEngine(t, 101*1024)
+	resp, err := e.Search(Request{
+		Query:  workload.Fig5Query(),
+		Access: plan.AccessTwigJoin,
+		K:      5,
+		Timing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Stats) == 0 || resp.Stats[0].Kind() != "twigjoin" {
+		t.Fatalf("stats = %+v: want a leading twigjoin entry", resp.Stats)
+	}
+	st := resp.Stats[0]
+	if st.In < st.Out || st.Pruned != st.In-st.Out {
+		t.Fatalf("twigjoin stats inconsistent: %+v", st)
+	}
+	// Inclusive wall times must stay monotone for the adjacent-difference
+	// self-time breakdown: the chain entries include the join's time.
+	for i := 1; i < len(resp.Stats); i++ {
+		if resp.Stats[i].WallNS < resp.Stats[0].WallNS {
+			t.Fatalf("chain op %d wall %d below join wall %d: breakdown would go negative",
+				i, resp.Stats[i].WallNS, resp.Stats[0].WallNS)
+		}
+	}
+}
+
+// TestAccessRaceStress: concurrent twigjoin searches with parallel plan
+// execution under -race, with a goroutine-leak gate.
+func TestAccessRaceStress(t *testing.T) {
+	e := xmarkEngine(t, 101*1024)
+	q := workload.Fig5Query()
+	prof := workload.Fig5Profile(2)
+	before := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				access := plan.AccessScan
+				if (w+i)%2 == 0 {
+					access = plan.AccessTwigJoin
+				}
+				if _, err := e.Search(Request{
+					Query: q, Profile: prof, K: 10,
+					Access: access, Parallelism: 1 + (i % 3),
+				}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after stress",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -66,7 +66,8 @@ func (e *Engine) Fingerprint() string {
 // document with the given fingerprint. Every request field that can
 // influence the response is folded in: the query's canonical string
 // form, the profile's canonical serialization, the resolved K, the
-// strategy, and the literal-rewrite / twig-access / parallelism flags
+// strategy, and the literal-rewrite / twig-access / access-path /
+// parallelism flags
 // (parallelism never changes the ranked answers, but it changes the
 // response's Workers and Stats metadata, so it is part of the key to
 // keep cached responses byte-faithful).
@@ -77,9 +78,9 @@ func (req *Request) CacheKey(fingerprint string) string {
 	}
 	var sb strings.Builder
 	sb.Grow(256)
-	fmt.Fprintf(&sb, "doc=%s\x1fq=%s\x1fk=%d\x1fstrat=%s\x1flit=%t\x1ftwig=%t\x1fpar=%d",
+	fmt.Fprintf(&sb, "doc=%s\x1fq=%s\x1fk=%d\x1fstrat=%s\x1flit=%t\x1ftwig=%t\x1faccess=%s\x1fpar=%d",
 		fingerprint, req.Query.String(), k, req.Strategy, req.LiteralRewrite,
-		req.TwigAccess, req.Parallelism)
+		req.TwigAccess, req.Access, req.Parallelism)
 	sb.WriteString("\x1fprof=")
 	sb.WriteString(CanonicalProfile(req.Profile))
 	if req.Thesaurus != nil && req.Thesaurus.Len() > 0 {

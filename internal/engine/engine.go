@@ -87,8 +87,15 @@ type Request struct {
 	// exists for comparison and testing.
 	LiteralRewrite bool
 	// TwigAccess uses the holistic twig semijoin as the access path
-	// instead of scan + per-candidate matching.
+	// instead of scan + per-candidate matching. Legacy toggle: it is
+	// equivalent to Access = plan.AccessTwigJoin and is ignored when
+	// Access is set explicitly.
 	TwigAccess bool
+	// Access selects the candidate access path: plan.AccessAuto (zero
+	// value; corpus-size heuristic), plan.AccessScan, or
+	// plan.AccessTwigJoin (holistic structural join with dataguide
+	// pruning).
+	Access plan.AccessPath
 	// Parallelism partitions plan execution across workers: 0 uses
 	// GOMAXPROCS (scaled down on small candidate lists), 1 forces the
 	// sequential reference path, n >= 2 forces n workers. The ranked
@@ -123,7 +130,11 @@ type Response struct {
 	Stats        []algebra.OpStats
 	TotalPruned  int
 	Workers      int // plan-execution workers (1 = sequential)
-	Elapsed      time.Duration
+	// Access is the resolved access path (never AccessAuto) and TwigJoin
+	// the join's counters — nil on the scan path.
+	Access   plan.AccessPath
+	TwigJoin *plan.JoinStats
+	Elapsed  time.Duration
 	// Trace is the pipeline trace: one span per personalization stage
 	// (analyze → rewrite → build → execute → rank), offsets relative to
 	// the start of SearchContext. Always recorded — five clock pairs
@@ -217,6 +228,7 @@ func (e *Engine) SearchContext(ctx context.Context, req Request) (*Response, err
 	p, err := plan.BuildWith(e.ix, q, req.Profile, k, plan.Options{
 		Strategy:    strat,
 		TwigAccess:  req.TwigAccess,
+		AccessPath:  req.Access,
 		Parallelism: req.Parallelism,
 		Timing:      req.Timing,
 	})
@@ -239,6 +251,8 @@ func (e *Engine) SearchContext(ctx context.Context, req Request) (*Response, err
 		Stats:        p.Stats(),
 		TotalPruned:  p.TotalPruned(),
 		Workers:      p.Workers(),
+		Access:       p.Access(),
+		TwigJoin:     p.JoinStats(),
 	}
 	resp.Results = e.materialize(answers)
 	endRank()

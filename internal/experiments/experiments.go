@@ -91,6 +91,9 @@ type Fig6Config struct {
 	// Parallelism is plan.Options.Parallelism for every timed run
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Parallelism int
+	// Access is plan.Options.AccessPath for every timed run
+	// (zero value: plan.AccessAuto).
+	Access plan.AccessPath
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -121,7 +124,8 @@ func RunFig6(cfg Fig6Config) []Fig6Row {
 		for n := 1; n <= cfg.MaxKOR; n++ {
 			prof := workload.Fig5Profile(n)
 			row := timePlanOpts(ix, prof,
-				plan.Options{Strategy: plan.Push, Parallelism: cfg.Parallelism}, cfg.K, cfg.Trials)
+				plan.Options{Strategy: plan.Push, Parallelism: cfg.Parallelism, AccessPath: cfg.Access},
+				cfg.K, cfg.Trials)
 			row.SizeBytes = size
 			row.SizeLabel = xmark.SizeLabel(size)
 			row.NumKORs = n
@@ -151,6 +155,8 @@ type Fig7Config struct {
 	Trials    int // defaults to 3
 	// Parallelism is plan.Options.Parallelism for every timed run.
 	Parallelism int
+	// Access is plan.Options.AccessPath for every timed run.
+	Access plan.AccessPath
 }
 
 func (c Fig7Config) withDefaults() Fig7Config {
@@ -180,7 +186,8 @@ func RunFig7(cfg Fig7Config) []Fig7Row {
 		for n := 1; n <= cfg.MaxKOR; n++ {
 			prof := workload.Fig5Profile(n)
 			r := timePlanOpts(ix, prof,
-				plan.Options{Strategy: strat, Parallelism: cfg.Parallelism}, cfg.K, cfg.Trials)
+				plan.Options{Strategy: strat, Parallelism: cfg.Parallelism, AccessPath: cfg.Access},
+				cfg.K, cfg.Trials)
 			rows = append(rows, Fig7Row{
 				Strategy: strat, NumKORs: n,
 				Time: r.Time, Pruned: r.Pruned, Answers: r.Answers, Ops: r.Ops,
@@ -359,6 +366,8 @@ func RunAblations(seed int64, sizeBytes, k, trials int) []AblationRow {
 		{"push/plain", base, plan.Options{Strategy: plan.Push}},
 		{"push/deep", base, plan.Options{Strategy: plan.PushDeep}},
 		{"push/twig-access", base, plan.Options{Strategy: plan.Push, TwigAccess: true}},
+		{"push/access-scan", base, plan.Options{Strategy: plan.Push, AccessPath: plan.AccessScan}},
+		{"push/access-twigjoin", base, plan.Options{Strategy: plan.Push, AccessPath: plan.AccessTwigJoin}},
 	} {
 		r := timePlanOpts(ix, c.prof, c.opts, k, trials)
 		rows = append(rows, AblationRow{Name: c.name, NumKORs: 4, Time: r.Time, Pruned: r.Pruned})

@@ -1,0 +1,112 @@
+package index
+
+import "repro/internal/xmldoc"
+
+// Dataguide is a strong dataguide (path summary) of the indexed
+// document: one guide node per distinct root-to-element tag path,
+// annotated with the number of document elements on that path. Every
+// element maps to exactly one guide node (ElemGuide), and the guide is
+// tiny compared to the document — XMark's 5.7M-node instance has a few
+// hundred distinct paths.
+//
+// The guide supports sound structural pruning: any embedding of a tree
+// pattern into the document projects, path-wise, to an embedding into
+// the guide (each element maps to its guide node, and document
+// parent/ancestor edges map to guide parent/ancestor edges). So if a
+// query skeleton has no guide embedding it has no document embedding,
+// and an element whose guide node participates in no guide embedding
+// can never bind a pattern node. The converse does not hold — the
+// guide over-approximates — which is exactly what a pre-filter needs.
+type Dataguide struct {
+	tag      []string  // per guide node
+	parent   []int32   // guide parent; -1 for the root
+	level    []int32   // depth; root is 0
+	count    []int32   // document elements mapping here
+	children [][]int32 // guide child nodes, in first-occurrence order
+	byTag    map[string][]int32
+	elem     []int32 // per NodeID: guide node, or -1 for text nodes
+}
+
+// guideBuilder accumulates the guide during the index build walk.
+type guideBuilder struct {
+	g     *Dataguide
+	edge  map[guideEdge]int32
+	stack []int32 // stack[level] = guide node of the open element there
+}
+
+type guideEdge struct {
+	parent int32
+	tag    string
+}
+
+func newGuideBuilder(docLen int) *guideBuilder {
+	g := &Dataguide{
+		byTag: make(map[string][]int32),
+		elem:  make([]int32, docLen),
+	}
+	for i := range g.elem {
+		g.elem[i] = -1
+	}
+	return &guideBuilder{g: g, edge: make(map[guideEdge]int32)}
+}
+
+// visit maps one element (seen in preorder) to its guide node, creating
+// the node on the first occurrence of its path.
+func (b *guideBuilder) visit(id xmldoc.NodeID, tag string, level int32) {
+	parent := int32(-1)
+	if level > 0 {
+		parent = b.stack[level-1]
+	}
+	key := guideEdge{parent, tag}
+	gn, ok := b.edge[key]
+	if !ok {
+		gn = int32(len(b.g.tag))
+		b.edge[key] = gn
+		b.g.tag = append(b.g.tag, tag)
+		b.g.parent = append(b.g.parent, parent)
+		b.g.level = append(b.g.level, level)
+		b.g.count = append(b.g.count, 0)
+		b.g.children = append(b.g.children, nil)
+		b.g.byTag[tag] = append(b.g.byTag[tag], gn)
+		if parent >= 0 {
+			b.g.children[parent] = append(b.g.children[parent], gn)
+		}
+	}
+	b.g.count[gn]++
+	b.g.elem[id] = gn
+	if int(level) < len(b.stack) {
+		b.stack[level] = gn
+	} else {
+		b.stack = append(b.stack, gn)
+	}
+}
+
+// Guide returns the document's strong dataguide.
+func (ix *Index) Guide() *Dataguide { return ix.guide }
+
+// Len returns the number of guide nodes (distinct root-to-tag paths).
+func (g *Dataguide) Len() int { return len(g.tag) }
+
+// Tag returns guide node gn's element tag.
+func (g *Dataguide) Tag(gn int32) string { return g.tag[gn] }
+
+// Parent returns gn's guide parent (-1 for the root).
+func (g *Dataguide) Parent(gn int32) int32 { return g.parent[gn] }
+
+// Level returns gn's depth (the root path has level 0).
+func (g *Dataguide) Level(gn int32) int32 { return g.level[gn] }
+
+// Count returns the number of document elements on gn's path.
+func (g *Dataguide) Count(gn int32) int32 { return g.count[gn] }
+
+// Children returns gn's guide children; callers must not mutate.
+func (g *Dataguide) Children(gn int32) []int32 { return g.children[gn] }
+
+// NodesByTag returns the guide nodes with the given tag ("*" returns
+// every guide node as a nil marker: callers treat nil as "all").
+func (g *Dataguide) NodesByTag(tag string) []int32 {
+	return g.byTag[tag]
+}
+
+// ElemGuide returns the guide node of element id (-1 for text nodes).
+func (g *Dataguide) ElemGuide(id xmldoc.NodeID) int32 { return g.elem[id] }

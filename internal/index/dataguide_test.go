@@ -1,0 +1,111 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/text"
+	"repro/internal/xmldoc"
+)
+
+func guideFor(t *testing.T, src string) (*Dataguide, *xmldoc.Document) {
+	t.Helper()
+	doc, err := xmldoc.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(doc, text.Pipeline{})
+	g := ix.Guide()
+	if g == nil {
+		t.Fatal("nil dataguide")
+	}
+	return g, doc
+}
+
+// TestDataguidePaths: one guide node per distinct root-to-tag path, with
+// element counts.
+func TestDataguidePaths(t *testing.T) {
+	// Paths: /a, /a/b, /a/b/c, /a/c — four distinct, with /a/b twice
+	// and /a/b/c twice (one per b).
+	g, _ := guideFor(t, `<a><b><c/></b><b><c/><c/></b><c/></a>`)
+	if g.Len() != 4 {
+		t.Fatalf("guide has %d nodes, want 4", g.Len())
+	}
+	counts := map[string]int32{}
+	for gn := int32(0); gn < int32(g.Len()); gn++ {
+		path := g.Tag(gn)
+		for p := g.Parent(gn); p >= 0; p = g.Parent(p) {
+			path = g.Tag(p) + "/" + path
+		}
+		counts[path] = g.Count(gn)
+	}
+	want := map[string]int32{"a": 1, "a/b": 2, "a/b/c": 3, "a/c": 1}
+	for path, n := range want {
+		if counts[path] != n {
+			t.Errorf("path %s: count %d, want %d (all: %v)", path, counts[path], n, counts)
+		}
+	}
+}
+
+// TestDataguideInvariants: structural invariants the twig join relies
+// on — parents precede children (first-occurrence preorder), levels are
+// parent+1, every element maps to a guide node with its own tag, and
+// counts total the element population.
+func TestDataguideInvariants(t *testing.T) {
+	g, doc := guideFor(t, `
+<site>
+  <people>
+    <person><name>n1</name><address><city>c</city></address></person>
+    <person><name>n2</name></person>
+  </people>
+  <regions><item><name>i</name></item></regions>
+</site>`)
+	var total int32
+	for gn := int32(0); gn < int32(g.Len()); gn++ {
+		p := g.Parent(gn)
+		if p >= gn {
+			t.Fatalf("guide node %d has parent %d: parents must precede children", gn, p)
+		}
+		if p < 0 && g.Level(gn) != 0 {
+			t.Fatalf("root guide node %d at level %d", gn, g.Level(gn))
+		}
+		if p >= 0 && g.Level(gn) != g.Level(p)+1 {
+			t.Fatalf("guide node %d level %d under parent level %d", gn, g.Level(gn), g.Level(p))
+		}
+		total += g.Count(gn)
+		found := false
+		for _, c := range g.NodesByTag(g.Tag(gn)) {
+			if c == gn {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("guide node %d missing from NodesByTag(%s)", gn, g.Tag(gn))
+		}
+	}
+	elems := int32(0)
+	doc.Walk(func(id xmldoc.NodeID) bool {
+		if doc.Kind(id) != xmldoc.Element {
+			if g.ElemGuide(id) != -1 {
+				t.Fatalf("text node %d mapped to guide node %d", id, g.ElemGuide(id))
+			}
+			return true
+		}
+		elems++
+		gn := g.ElemGuide(id)
+		if gn < 0 || g.Tag(gn) != doc.Tag(id) {
+			t.Fatalf("element %d (%s) maps to guide node %d (%s)",
+				id, doc.Tag(id), gn, g.Tag(gn))
+		}
+		// The element's document parent must map to the guide parent.
+		if par := doc.Parent(id); par != xmldoc.InvalidNode {
+			if g.ElemGuide(par) != g.Parent(gn) {
+				t.Fatalf("element %d: guide parent %d, document parent maps to %d",
+					id, g.Parent(gn), g.ElemGuide(par))
+			}
+		}
+		return true
+	})
+	if total != elems {
+		t.Fatalf("guide counts total %d, document has %d elements", total, elems)
+	}
+}

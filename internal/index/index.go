@@ -37,6 +37,8 @@ type Index struct {
 	seqNode   []xmldoc.NodeID    // global token position -> its text node
 	numTokens int
 
+	guide *Dataguide // strong dataguide (path summary), built with the index
+
 	scorer Scorer // nil means TFIDFScorer
 
 	// cacheMu serializes cache writers only; readers atomically load the
@@ -63,12 +65,14 @@ func Build(doc *xmldoc.Document, pipe text.Pipeline) *Index {
 		positions: make(map[string][]int32),
 	}
 	ix.resetCaches()
+	gb := newGuideBuilder(doc.Len())
 	doc.Walk(func(id xmldoc.NodeID) bool {
 		n := doc.Node(id)
 		switch n.Kind {
 		case xmldoc.Element:
 			ix.tags[n.Tag] = append(ix.tags[n.Tag], id)
 			ix.allElems = append(ix.allElems, id)
+			gb.visit(id, n.Tag, n.Level)
 		case xmldoc.Text:
 			for _, tok := range pipe.Tokenize(n.Text) {
 				pos := int32(ix.numTokens)
@@ -79,6 +83,7 @@ func Build(doc *xmldoc.Document, pipe text.Pipeline) *Index {
 		}
 		return true
 	})
+	ix.guide = gb.g
 	return ix
 }
 

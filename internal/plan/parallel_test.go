@@ -120,7 +120,8 @@ func TestParallelStatsMerge(t *testing.T) {
 	ix := index.Build(doc, text.Pipeline{})
 	prof := profile.MustParseProfile(testProfile)
 	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
-	p, err := BuildWith(ix, q, prof, 5, Options{Strategy: Push, Parallelism: 4})
+	p, err := BuildWith(ix, q, prof, 5,
+		Options{Strategy: Push, AccessPath: AccessScan, Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,11 @@ func TestEffectiveWorkers(t *testing.T) {
 		{4, 4},    // explicit parallelism is honored on small inputs
 		{100, 30}, // clamped to one candidate per worker
 	} {
-		p, err := BuildWith(ix, q, nil, 3, Options{Strategy: Push, Parallelism: tc.par})
+		// The scan path knows its candidate list at Build time; the
+		// twigjoin path fills it at Execute (ensureSource), where
+		// effectiveWorkers resolves against the join's output instead.
+		p, err := BuildWith(ix, q, nil, 3,
+			Options{Strategy: Push, AccessPath: AccessScan, Parallelism: tc.par})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ package plan
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/index"
@@ -76,8 +77,18 @@ type Plan struct {
 	opts   Options
 	ranker *algebra.Ranker
 
+	access     AccessPath      // resolved access path (never AccessAuto)
+	eval       *twig.Evaluator // twigjoin access path; nil for scan
+	listSrc    *algebra.ListScanOp
 	sourceIDs  []xmldoc.NodeID // the access path's candidate list
 	sourceName string          // display name of the source operator
+	distTag    string
+
+	// Last twigjoin execution, for the synthetic source OpStats entry
+	// and the serving layer's counters.
+	joinStats *twig.JoinStats
+	joinNS    int64
+	joinIn    int
 
 	root  algebra.Operator
 	final *algebra.TopKPruneOp
@@ -94,9 +105,16 @@ type Plan struct {
 // Options tunes plan compilation beyond the strategy.
 type Options struct {
 	Strategy Strategy
-	// TwigAccess replaces the scan + per-candidate structural semijoin
-	// with a holistic twig filter (internal/twig): the distinguished
-	// candidates are computed set-at-a-time before the pipeline starts.
+	// AccessPath selects the candidate source: AccessScan streams the
+	// distinguished tag list and matches per candidate, AccessTwigJoin
+	// runs the holistic twig join (positional stack join + dataguide
+	// pruning) at Execute time. AccessAuto — the default — picks
+	// twigjoin for structural queries whose tag lists are cheap to
+	// stream relative to the scan's candidate count, and scan
+	// otherwise. The ranked answers are identical on every path.
+	AccessPath AccessPath
+	// TwigAccess is the legacy boolean form of AccessPath: true means
+	// AccessTwigJoin when AccessPath is AccessAuto.
 	TwigAccess bool
 	// Parallelism partitions the access path's candidate list across
 	// workers at Execute time: 0 uses GOMAXPROCS (scaled down when the
@@ -141,16 +159,23 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 		ix:       ix, q: q, prof: prof, opts: opts,
 		ranker: algebra.NewRanker(prof),
 	}
-	distTag := q.Nodes[q.Dist].Tag
+	p.distTag = q.Nodes[q.Dist].Tag
+	p.access = opts.resolveAccess(ix, q)
 	var src algebra.Operator
-	if opts.TwigAccess {
-		p.sourceIDs = twig.Distinguished(ix, q)
-		p.sourceName = "twigscan(" + distTag + ")"
-		src = &algebra.ListScanOp{Name: p.sourceName, IDs: p.sourceIDs}
+	if p.access == AccessTwigJoin {
+		// The join itself runs lazily at Execute time (ensureSource), so
+		// execution timings honestly include the access path's work; the
+		// evaluator memoizes the query decomposition and the dataguide
+		// match so re-executions pay only for the streaming passes.
+		p.eval = twig.NewEvaluator(ix, q)
+		p.joinIn = ix.TagCount(p.distTag)
+		p.sourceName = "twigscan(" + p.distTag + ")"
+		p.listSrc = &algebra.ListScanOp{Name: p.sourceName}
+		src = p.listSrc
 	} else {
-		p.sourceIDs = ix.Elements(distTag)
-		p.sourceName = "scan(" + distTag + ")"
-		src = &algebra.ScanOp{Ix: ix, Tag: distTag}
+		p.sourceIDs = ix.Elements(p.distTag)
+		p.sourceName = "scan(" + p.distTag + ")"
+		src = &algebra.ScanOp{Ix: ix, Tag: p.distTag}
 	}
 	// Compiling the chain doubles as the cache pre-warm pass: the bound
 	// computations below (MaxUnitScore, MaxKORContribution) populate the
@@ -192,7 +217,7 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound, can
 	}
 
 	op := push(src)
-	if p.opts.TwigAccess {
+	if p.access == AccessTwigJoin {
 		if units := m.RequiredConstraintUnits(); len(units) > 0 {
 			op = push(&algebra.UnitFilterOp{In: op, Matcher: m, Units: units})
 		}
@@ -317,6 +342,9 @@ func (p *Plan) ExecuteContext(ctx context.Context) ([]algebra.Answer, error) {
 	if err := algebra.ContextErr(ctx); err != nil {
 		return nil, err
 	}
+	if err := p.ensureSource(ctx); err != nil {
+		return nil, err
+	}
 	if w := p.effectiveWorkers(); w > 1 {
 		return p.executeParallel(ctx, w)
 	}
@@ -335,9 +363,37 @@ func (p *Plan) ExecuteContext(ctx context.Context) ([]algebra.Answer, error) {
 	return p.final.TopK(), nil
 }
 
+// ensureSource runs the twigjoin access path (no-op for scans). It
+// runs on every execution — not once per plan — so Execute timings and
+// benchmarks account for the full per-query cost of the access path,
+// exactly as the scan path re-scans its tag list each time. The join
+// aborts cooperatively when ctx is cancelled.
+func (p *Plan) ensureSource(ctx context.Context) error {
+	if p.eval == nil {
+		return nil
+	}
+	start := time.Now()
+	ids, stats, err := p.eval.Distinguished(ctx)
+	if err != nil {
+		return err
+	}
+	p.sourceIDs = ids
+	p.listSrc.IDs = ids
+	p.joinStats = &stats
+	p.joinNS = time.Since(start).Nanoseconds()
+	return nil
+}
+
 // Workers reports how many workers the most recent Execute used
 // (0 before the first Execute).
 func (p *Plan) Workers() int { return p.lastWorkers }
+
+// Access reports the resolved access path (never AccessAuto).
+func (p *Plan) Access() AccessPath { return p.access }
+
+// JoinStats returns the twigjoin counters of the most recent Execute,
+// or nil when the plan uses the scan access path (or has not executed).
+func (p *Plan) JoinStats() *JoinStats { return p.joinStats }
 
 // Stats returns per-operator counters, bottom-up. After a parallel
 // Execute the counters — answer counts and, with Options.Timing, wall
@@ -345,7 +401,38 @@ func (p *Plan) Workers() int { return p.lastWorkers }
 // are structurally identical). Note that summed WallNS is aggregate
 // busy time across workers, not elapsed wall clock: it can exceed the
 // execution's elapsed time by up to the worker count.
+//
+// On the twigjoin access path a synthetic leading entry reports the
+// join itself: In is the distinguished tag's list size, Out the
+// candidates the join emitted, WallNS the join's wall time. With
+// Options.Timing the join time is also folded into every chain
+// operator's inclusive WallNS, preserving the self-time-by-adjacent-
+// difference convention (the join is upstream of the whole chain).
 func (p *Plan) Stats() []algebra.OpStats {
+	chain := p.chainStats()
+	if p.joinStats == nil {
+		return chain
+	}
+	join := algebra.OpStats{
+		Name:   "twigjoin(" + p.distTag + ")",
+		In:     p.joinIn,
+		Out:    len(p.sourceIDs),
+		Pruned: p.joinIn - len(p.sourceIDs),
+		WallNS: p.joinNS,
+	}
+	if p.opts.Timing {
+		for i := range chain {
+			chain[i].WallNS += p.joinNS
+		}
+	} else {
+		join.WallNS = 0
+	}
+	return append([]algebra.OpStats{join}, chain...)
+}
+
+// chainStats returns the operator chain's counters without the access
+// path's synthetic entry.
+func (p *Plan) chainStats() []algebra.OpStats {
 	if p.parStats != nil {
 		out := make([]algebra.OpStats, len(p.parStats))
 		copy(out, p.parStats)
@@ -358,10 +445,14 @@ func (p *Plan) Stats() []algebra.OpStats {
 	return out
 }
 
-// TotalPruned sums answers dropped by all prune operators.
+// TotalPruned sums answers dropped by the chain's prune operators. The
+// twigjoin access path's structural prunes are intentionally excluded —
+// they are candidates that never entered the pipeline (the scan path
+// never counted the RequiredOp's structural rejects here either);
+// JoinStats reports them.
 func (p *Plan) TotalPruned() int {
 	t := 0
-	for _, s := range p.Stats() {
+	for _, s := range p.chainStats() {
 		t += s.Pruned
 	}
 	return t

@@ -314,7 +314,7 @@ func TestPlanStringAndStats(t *testing.T) {
 	ix := index.Build(doc, text.Pipeline{})
 	prof := profile.MustParseProfile(testProfile)
 	q := tpq.MustParse(`//car[./description[. ftcontains "good condition"]]`)
-	p, err := Build(ix, q, prof, 3, Push)
+	p, err := BuildWith(ix, q, prof, 3, Options{Strategy: Push, AccessPath: AccessScan})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,9 +22,14 @@ import (
 // folds its display name (which may embed phrases or tags, e.g.
 // "ftjoin(best bid)") down to one of these via OpStats.Kind.
 var opKinds = []string{
-	"scan", "listscan", "twigscan", "required", "unitfilter",
+	"scan", "listscan", "twigscan", "twigjoin", "required", "unitfilter",
 	"ftjoin", "ftouterjoin", "bonus", "vor", "kor", "topkPrune", "sort",
 }
+
+// twigOutcomes labels pimento_twigjoin_queries_total: "joined" when the
+// holistic join ran, "shortcircuit" when the dataguide proved the
+// skeleton non-embedding and no join ran at all.
+var twigOutcomes = []string{"joined", "shortcircuit"}
 
 // stageNames is the pipeline-trace span set recorded by
 // engine.SearchContext.
@@ -71,6 +76,11 @@ type serverMetrics struct {
 	opWall    map[string]*metrics.Counter // by op kind
 	opAnswers map[[2]string]*metrics.Counter
 	stage     map[string]*metrics.Histogram
+
+	twigQueries     map[string]*metrics.Counter // by outcome
+	twigGuidePruned *metrics.Counter
+	twigPushes      *metrics.Counter
+	twigEmitted     *metrics.Counter
 
 	slowTotal   *metrics.Counter
 	slowDropped *metrics.Counter
@@ -146,6 +156,18 @@ func newServerMetrics() *serverMetrics {
 			"Personalization pipeline stage latency in seconds (analyze, rewrite, build, execute, rank).",
 			metrics.DefBuckets, metrics.Labels{"stage": st})
 	}
+	m.twigQueries = make(map[string]*metrics.Counter, len(twigOutcomes))
+	for _, o := range twigOutcomes {
+		m.twigQueries[o] = reg.Counter("pimento_twigjoin_queries_total",
+			"Searches served by the twigjoin access path, by outcome (joined, shortcircuit).",
+			metrics.Labels{"outcome": o})
+	}
+	m.twigGuidePruned = reg.Counter("pimento_twigjoin_guide_pruned_total",
+		"Elements skipped by dataguide pruning before entering a twig-join stream.", nil)
+	m.twigPushes = reg.Counter("pimento_twigjoin_stack_pushes_total",
+		"Elements pushed onto twig-join stacks (pass-1 stream volume).", nil)
+	m.twigEmitted = reg.Counter("pimento_twigjoin_candidates_total",
+		"Candidates emitted by twig joins across all pattern nodes.", nil)
 	m.slowTotal = reg.Counter("pimento_slow_queries_total",
 		"Searches slower than the configured slow-query threshold.", nil)
 	m.slowDropped = reg.Counter("pimento_slow_queries_dropped_total",
@@ -194,6 +216,16 @@ func (m *serverMetrics) recordSearch(resp *engine.Response) {
 		if h, ok := m.stage[sp.Name]; ok {
 			h.Observe(float64(sp.DurUS) / 1e6)
 		}
+	}
+	if js := resp.TwigJoin; js != nil {
+		if js.GuideShortCircuit {
+			m.twigQueries["shortcircuit"].Inc()
+		} else {
+			m.twigQueries["joined"].Inc()
+		}
+		m.twigGuidePruned.Add(int64(js.GuidePruned))
+		m.twigPushes.Add(int64(js.StackPushes))
+		m.twigEmitted.Add(int64(js.Emitted))
 	}
 }
 

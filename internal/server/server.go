@@ -70,6 +70,10 @@ type Config struct {
 	// profile analysis is document-independent, so a profile analyzed
 	// for one document is warm for all of them.
 	AnalysisCacheSize int
+	// DefaultAccess is the candidate access path used when a request
+	// does not name one (zero value: plan.AccessAuto). Requests override
+	// it per search with the "access" field.
+	DefaultAccess plan.AccessPath
 }
 
 // Server serves personalized XML search over a registry of documents.
@@ -234,6 +238,9 @@ type SearchRequest struct {
 	Parallelism int    `json:"parallelism"`
 	Twig        bool   `json:"twig"`
 	Literal     bool   `json:"literal"`
+	// Access selects the candidate access path: "" or "auto"
+	// (corpus-size heuristic), "scan", or "twigjoin".
+	Access string `json:"access"`
 	// TimeoutMS bounds this request; it can only tighten the server's
 	// DefaultTimeout, never extend it.
 	TimeoutMS int `json:"timeout_ms"`
@@ -422,6 +429,13 @@ func (s *Server) buildEngineRequest(sreq *SearchRequest) (engine.Request, int, e
 	req.Parallelism = sreq.Parallelism
 	req.TwigAccess = sreq.Twig
 	req.LiteralRewrite = sreq.Literal
+	req.Access = s.cfg.DefaultAccess
+	if sreq.Access != "" {
+		req.Access, err = plan.ParseAccessPath(sreq.Access)
+		if err != nil {
+			return req, http.StatusBadRequest, err
+		}
+	}
 	// The serving layer always pays for operator timing: /metrics and
 	// the slow-query log attribute time inside the plan with it.
 	req.Timing = true
@@ -466,8 +480,8 @@ func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Re
 	var body SearchBody
 	if s.fanout(sreq) {
 		// Fan-out searches do not support the per-engine extras.
-		if sreq.Twig || sreq.Literal {
-			return nil, &badRequestError{errors.New("twig and literal are single-document options")}
+		if sreq.Twig || sreq.Literal || sreq.Access != "" {
+			return nil, &badRequestError{errors.New("twig, literal and access are single-document options")}
 		}
 		resp, err := s.reg.SearchContext(ctx, req.Query, req.Profile, req.K, req.Strategy)
 		if err != nil {

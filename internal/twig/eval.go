@@ -1,0 +1,181 @@
+package twig
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// errStopped is the internal abort signal of a cancelled join; the
+// Evaluator maps it back to the context's error.
+var errStopped = errors.New("twig: join stopped")
+
+// Evaluator is the twigjoin access path for one (index, query) pair:
+// the query's required-leaf decomposition (requiredLeaves, the
+// Y-patterns) and each Y-pattern's dataguide match are computed once at
+// construction and reused across executions — a plan that re-runs its
+// join per Execute pays only for the streaming passes.
+//
+// Queries with at most maskLeaves required leaves run as ONE fused
+// holistic join over the full pattern (holisticDistinguished): all
+// Y-patterns evaluate simultaneously with one bit per leaf, so shared
+// prefix streams — typically the biggest tag lists — are merged once
+// instead of once per branch. Wider queries fall back to one holistic
+// join per Y-pattern; there the guide's element counts order the
+// branches smallest-first so the candidate intersection shrinks (and
+// can empty-exit) as early as possible.
+//
+// An Evaluator is immutable after construction and safe for concurrent
+// Distinguished calls.
+type Evaluator struct {
+	ix    *index.Index
+	q     *tpq.Query
+	ys    []yJoin
+	fused *fusedQuery // non-nil: fused per-leaf join applies
+	empty bool        // some Y-pattern has no guide embedding
+}
+
+// yJoin is one memoized Y-pattern join branch.
+type yJoin struct {
+	q    *tpq.Query
+	dist int
+	emb  *guideEmb
+	est  int64 // guide element estimate; join-ordering key
+}
+
+// NewEvaluator decomposes q and matches each Y-pattern against the
+// index's dataguide.
+func NewEvaluator(ix *index.Index, q *tpq.Query) *Evaluator {
+	e := &Evaluator{ix: ix, q: q}
+	g := ix.Guide()
+	leaves := requiredLeaves(q)
+	remaps := make([][]int, 0, len(leaves))
+	for _, leaf := range leaves {
+		y, yDist, remap := yPattern(q, leaf)
+		yj := yJoin{q: y, dist: yDist, est: int64(ix.TagCount(y.Nodes[yDist].Tag))}
+		if g != nil {
+			yj.emb = matchGuide(g, y)
+			if yj.emb.empty {
+				e.empty = true
+			}
+			yj.est = yj.emb.minCount()
+		}
+		e.ys = append(e.ys, yj)
+		remaps = append(remaps, remap)
+	}
+	if !e.empty && len(leaves) > 0 && len(leaves) <= maskLeaves &&
+		!optionalBranch(q, q.Dist) {
+		e.fused = buildFused(q, leaves, e.ys, remaps, g)
+	}
+	sort.SliceStable(e.ys, func(i, j int) bool { return e.ys[i].est < e.ys[j].est })
+	return e
+}
+
+// buildFused assembles the fused join's per-leaf metadata; remaps runs
+// parallel to ys (one Y-pattern per leaf, pre-sort).
+func buildFused(q *tpq.Query, leaves []int, ys []yJoin, remaps [][]int, g *index.Dataguide) *fusedQuery {
+	n := len(q.Nodes)
+	f := &fusedQuery{
+		leafMask: make([]uint64, n),
+		selfBit:  make([]uint64, n),
+		isLeaf:   make([]bool, n),
+		onChain:  make([]bool, n),
+	}
+	for bi, leaf := range leaves {
+		bit := uint64(1) << uint(bi)
+		f.full |= bit
+		f.selfBit[leaf] = bit
+		f.isLeaf[leaf] = true
+		for t := leaf; t != -1; t = q.Nodes[t].Parent {
+			f.leafMask[t] |= bit
+		}
+	}
+	for t := q.Dist; t != -1; t = q.Nodes[t].Parent {
+		f.onChain[t] = true
+	}
+	if g != nil {
+		// Per-node stream pruning: the union of the per-Y guide matches.
+		// Sound because a node shared by several Y-patterns may bind an
+		// element for any one of them, and the bits an element contributes
+		// in the join always correspond to real element chains — a
+		// union-admitted element can never manufacture an answer.
+		f.allowed = make([][]bool, n)
+		for t := 0; t < n; t++ {
+			if optionalBranch(q, t) {
+				continue
+			}
+			a := make([]bool, g.Len())
+			for yi := range ys {
+				if yt := remaps[yi][t]; yt >= 0 {
+					for gn, ok := range ys[yi].emb.allowed[yt] {
+						if ok {
+							a[gn] = true
+						}
+					}
+				}
+			}
+			f.allowed[t] = a
+		}
+	}
+	return f
+}
+
+// Distinguished computes the distinguished-node candidates with the
+// holistic stack join, under the same per-predicate semijoin semantics
+// as the package-level Distinguished (the two are byte-identical; the
+// differential suite pins it). It returns the join's statistics and
+// aborts cooperatively when ctx is cancelled.
+func (e *Evaluator) Distinguished(ctx context.Context) ([]xmldoc.NodeID, JoinStats, error) {
+	stats := JoinStats{Leaves: len(e.ys)}
+	if e.empty {
+		// The dataguide proved the skeleton embeds nowhere: no join runs.
+		stats.GuideShortCircuit = true
+		return nil, stats, nil
+	}
+	var stop func() bool
+	if ctx != nil && ctx.Done() != nil {
+		stop = func() bool { return ctx.Err() != nil }
+	}
+	if e.fused != nil {
+		ids, err := holisticDistinguished(e.ix, e.q, e.fused, &stats, stop)
+		if err != nil {
+			if errors.Is(err, errStopped) && ctx.Err() != nil {
+				return nil, stats, ctx.Err()
+			}
+			return nil, stats, err
+		}
+		return ids, stats, nil
+	}
+	var result []xmldoc.NodeID
+	resultOwned := false
+	for i, yj := range e.ys {
+		cand, owned, err := holisticCandidates(e.ix, yj.q, yj.emb, &stats, stop)
+		if err != nil {
+			if errors.Is(err, errStopped) && ctx.Err() != nil {
+				return nil, stats, ctx.Err()
+			}
+			return nil, stats, err
+		}
+		if i == 0 {
+			result, resultOwned = cand[yj.dist], owned[yj.dist]
+		} else {
+			result, resultOwned = intersectSorted(result, resultOwned, cand[yj.dist])
+		}
+		if len(result) == 0 {
+			return nil, stats, nil
+		}
+	}
+	if len(e.ys) == 0 { // defensive: dist is always a required leaf holder
+		return Distinguished(e.ix, e.q), stats, nil
+	}
+	if !resultOwned {
+		// Callers (the plan's list scan, parallel partitioning) treat the
+		// candidate list as theirs; never leak the index's backing array.
+		result = append([]xmldoc.NodeID(nil), result...)
+	}
+	return result, stats, nil
+}

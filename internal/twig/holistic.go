@@ -1,0 +1,824 @@
+// Holistic stack-based twig join.
+//
+// holisticCandidates computes the same per-pattern-node candidate sets
+// as the two-sweep Candidates, but streams every per-tag sorted element
+// list exactly once per pass — no per-level list copies and no repeated
+// intersection allocations. It is a TwigStack-style merge join run
+// twice:
+//
+// Pass 1 (bottom-up survival): all required streams are merged in
+// document (pre) order. Each pattern node keeps a stack of open
+// elements; the stack invariant — every entry is a proper ancestor of
+// the one above it — holds because an arrival with pre past an entry's
+// post closes (pops) that entry first. Entries are popped innermost
+// first (increasing post across all stacks). An entry survives when
+// every required child obligation was satisfied below it, tracked as
+// two bitmasks: `down` for descendant-axis children (propagated to the
+// next outer entry of the same stack on pop — a surviving descendant of
+// an inner entry is also a descendant of every outer one) and `child`
+// for child-axis children (level-exact, never propagated). A surviving
+// pop notifies the innermost open ancestor on its parent pattern node's
+// stack; nesting guarantees that ancestor is the stack top (or the
+// entry below it, when the top is the same element streamed under two
+// pattern nodes — wildcard tags).
+//
+// Pass 2 (top-down): the bottom-up survivors are merged again in pre
+// order; an element is emitted iff an emitted binding of its pattern
+// parent is open above it (descendant axis: any open entry; child axis:
+// the top entry exactly one level up). Emitted elements cascade by
+// being the only ones pushed.
+//
+// Per-join scratch (stacks, stream cursors, survivor bitsets) is
+// recycled through a sync.Pool, mirroring the Matcher's reused
+// navigation buffers.
+package twig
+
+import (
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// JoinStats counts what one twigjoin access-path evaluation did; the
+// serving layer exports them as pimento_twigjoin_* counters.
+type JoinStats struct {
+	// Leaves is the number of Y-pattern joins the query decomposed into.
+	Leaves int
+	// GuideShortCircuit is true when the dataguide proved the skeleton
+	// embeds nowhere and no join ran at all.
+	GuideShortCircuit bool
+	// GuidePruned counts elements the dataguide removed from join
+	// streams (their root path cannot participate in any embedding).
+	GuidePruned int
+	// StackPushes counts pass-1 stack pushes (elements that entered the
+	// holistic merge after guide pruning).
+	StackPushes int
+	// Emitted counts candidate elements emitted by pass 2 across all
+	// pattern nodes.
+	Emitted int
+}
+
+// stkEntry is one open element on a pattern node's join stack.
+type stkEntry struct {
+	elem  xmldoc.NodeID
+	post  int32
+	level int32
+	idx   int32  // position in the pattern node's tag stream
+	down  uint64 // satisfied descendant-axis child obligations
+	child uint64 // satisfied child-axis child obligations
+}
+
+// maskChildren caps the required children of one pattern node the
+// bitmask survival tracking supports; wider nodes (never seen in
+// practice) fall back to the two-sweep join.
+const maskChildren = 64
+
+// stopCheckEvery is how many merge steps pass between cooperative
+// cancellation probes.
+const stopCheckEvery = 4096
+
+// joiner is the pooled per-join scratch state.
+type joiner struct {
+	stacks  [][]stkEntry
+	streams [][]xmldoc.NodeID
+	allowed [][]bool // per node: guide-admissible elements (nil = all)
+	surv    [][]uint64
+	vals    [][]uint64 // per chain node: final leaf masks (fused join)
+	heads   []int
+	parentQ []int
+	axisD   []bool // true = descendant axis to the pattern parent
+	bit     []uint64
+	reqMask []uint64
+	depth   []int32
+}
+
+var joinerPool = sync.Pool{New: func() any { return new(joiner) }}
+
+// maskable reports whether every pattern node has few enough required
+// children for bitmask survival tracking.
+func maskable(q *tpq.Query) bool {
+	for i := range q.Nodes {
+		req := 0
+		for _, c := range q.Nodes[i].Children {
+			if !optionalBranch(q, c) {
+				req++
+			}
+		}
+		if req > maskChildren {
+			return false
+		}
+	}
+	return true
+}
+
+// HolisticCandidates is Candidates computed by the holistic stack join
+// (with dataguide pruning); the two produce identical sets for every
+// tree pattern — the differential and fuzz suites pin this.
+func HolisticCandidates(ix *index.Index, q *tpq.Query) [][]xmldoc.NodeID {
+	var emb *guideEmb
+	if g := ix.Guide(); g != nil {
+		emb = matchGuide(g, q)
+	}
+	cand, _, _ := holisticCandidates(ix, q, emb, &JoinStats{}, nil)
+	return cand
+}
+
+// holisticCandidates runs the two-pass stack join. It returns the
+// per-node candidate lists plus per-slot ownership (the fallback path
+// can alias index tag lists). stop, when non-nil, is polled
+// periodically; a true return aborts with errStopped.
+func holisticCandidates(ix *index.Index, q *tpq.Query, emb *guideEmb, stats *JoinStats, stop func() bool) ([][]xmldoc.NodeID, []bool, error) {
+	n := len(q.Nodes)
+	if emb != nil && emb.empty {
+		stats.GuideShortCircuit = true
+		return make([][]xmldoc.NodeID, n), make([]bool, n), nil
+	}
+	if !maskable(q) {
+		cand, owned := candidatesOwned(ix, q)
+		return cand, owned, nil
+	}
+	doc := ix.Document()
+	pos := doc.Pos()
+	var guide *index.Dataguide
+	if emb != nil {
+		guide = ix.Guide()
+	}
+
+	j := joinerPool.Get().(*joiner)
+	defer j.release()
+	j.reset(n)
+
+	// Per-node metadata: parent, axis, survival masks, query depth.
+	for i := 0; i < n; i++ {
+		j.parentQ[i] = q.Nodes[i].Parent
+		j.axisD[i] = q.Nodes[i].Axis == tpq.Descendant
+		if i > 0 {
+			j.depth[i] = j.depth[q.Nodes[i].Parent] + 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		if optionalBranch(q, i) {
+			continue
+		}
+		j.streams[i] = ix.Elements(q.Nodes[i].Tag)
+		if emb != nil {
+			j.allowed[i] = emb.allowed[i]
+		}
+		var mask uint64
+		bit := uint64(1)
+		for _, c := range q.Nodes[i].Children {
+			if optionalBranch(q, c) {
+				continue
+			}
+			j.bit[c] = bit
+			mask |= bit
+			bit <<= 1
+		}
+		j.reqMask[i] = mask
+	}
+	rootOnly := xmldoc.InvalidNode
+	if q.Nodes[0].Axis == tpq.Child {
+		rootOnly = doc.Root()
+	}
+
+	// advance skips stream elements the guide (or the root axis) rules
+	// out, so pruned elements never enter the merge.
+	advance := func(i int) {
+		s := j.streams[i]
+		for j.heads[i] < len(s) {
+			e := s[j.heads[i]]
+			if i == 0 && rootOnly != xmldoc.InvalidNode && e != rootOnly {
+				j.heads[i]++
+				continue
+			}
+			if a := j.allowed[i]; a != nil && !a[guide.ElemGuide(e)] {
+				j.heads[i]++
+				stats.GuidePruned++
+				continue
+			}
+			return
+		}
+	}
+	for i := range j.streams {
+		if j.streams[i] != nil {
+			j.surv[i] = growBitset(j.surv[i], len(j.streams[i]))
+			j.heads[i] = 0
+			advance(i)
+		}
+	}
+
+	// popOne pops the globally innermost open entry (minimum post; the
+	// per-stack tops hold each stack's minimum because entries nest).
+	// Returns false when every open entry starts at or after threshold.
+	// Survival evaluation and parent notification run only while
+	// recording (pass 1); pass 2 pops purely to maintain the stacks.
+	recording := true
+	popOne := func(threshold int32, all bool) bool {
+		t := -1
+		var minPost int32
+		var minElem xmldoc.NodeID
+		for i := range j.stacks {
+			if m := len(j.stacks[i]); m > 0 {
+				top := &j.stacks[i][m-1]
+				// Equal posts mean nested entries (both subtrees end at
+				// the same node); the larger pre is the innermost and
+				// must pop first so its survival notification reaches
+				// the outer entries while they are still open.
+				if t < 0 || top.post < minPost ||
+					(top.post == minPost && top.elem > minElem) {
+					t, minPost, minElem = i, top.post, top.elem
+				}
+			}
+		}
+		if t < 0 || (!all && minPost >= threshold) {
+			return false
+		}
+		m := len(j.stacks[t]) - 1
+		e := j.stacks[t][m]
+		j.stacks[t] = j.stacks[t][:m]
+		if recording && (e.down|e.child)&j.reqMask[t] == j.reqMask[t] {
+			j.surv[t][e.idx>>6] |= 1 << uint(e.idx&63)
+			if t != 0 {
+				ps := j.stacks[j.parentQ[t]]
+				k := len(ps) - 1
+				// Proper ancestor / parent required: skip the top when
+				// it is the same element streamed under a wildcard
+				// pattern node (it can never be its own ancestor).
+				if k >= 0 && ps[k].elem == e.elem {
+					k--
+				}
+				if j.axisD[t] {
+					if k >= 0 {
+						ps[k].down |= j.bit[t]
+					}
+				} else if k >= 0 && ps[k].level == e.level-1 {
+					ps[k].child |= j.bit[t]
+				}
+			}
+		}
+		// Lazy propagation: obligations satisfied below e are satisfied
+		// below every outer ancestor on the same stack.
+		if m > 0 {
+			j.stacks[t][m-1].down |= e.down
+		}
+		return true
+	}
+
+	// Pass 1: merge all streams by pre, push every admitted element,
+	// decide survival at pop time.
+	steps := 0
+	for {
+		if steps++; stop != nil && steps%stopCheckEvery == 0 && stop() {
+			return nil, nil, errStopped
+		}
+		s := -1
+		var best xmldoc.NodeID
+		for i := range j.streams {
+			if j.streams[i] == nil || j.heads[i] >= len(j.streams[i]) {
+				continue
+			}
+			if e := j.streams[i][j.heads[i]]; s < 0 || e < best {
+				s, best = i, e
+			}
+		}
+		if s < 0 {
+			break
+		}
+		for popOne(int32(best), false) {
+		}
+		j.stacks[s] = append(j.stacks[s], stkEntry{
+			elem:  best,
+			post:  pos.Post[best],
+			level: pos.Level[best],
+			idx:   int32(j.heads[s]),
+		})
+		stats.StackPushes++
+		j.heads[s]++
+		advance(s)
+	}
+	for popOne(0, true) {
+	}
+
+	// Pass 2: merge the survivors by pre (parents before children on
+	// same-element ties); emit and push only elements with an emitted
+	// parent binding open above them.
+	recording = false
+	out := make([][]xmldoc.NodeID, n)
+	owned := make([]bool, n)
+	for i := range j.streams {
+		if j.streams[i] != nil {
+			owned[i] = true
+			j.heads[i] = 0
+		}
+	}
+	advSurv := func(i int) {
+		s := j.streams[i]
+		for j.heads[i] < len(s) {
+			h := j.heads[i]
+			if j.surv[i][h>>6]&(1<<uint(h&63)) != 0 {
+				return
+			}
+			j.heads[i]++
+		}
+	}
+	for i := range j.streams {
+		if j.streams[i] != nil {
+			advSurv(i)
+		}
+	}
+	for {
+		if steps++; stop != nil && steps%stopCheckEvery == 0 && stop() {
+			return nil, nil, errStopped
+		}
+		s := -1
+		var best xmldoc.NodeID
+		for i := range j.streams {
+			if j.streams[i] == nil || j.heads[i] >= len(j.streams[i]) {
+				continue
+			}
+			e := j.streams[i][j.heads[i]]
+			if s < 0 || e < best || (e == best && j.depth[i] < j.depth[s]) {
+				s, best = i, e
+			}
+		}
+		if s < 0 {
+			break
+		}
+		for popOne(int32(best), false) {
+		}
+		keep := s == 0
+		if !keep {
+			ps := j.stacks[j.parentQ[s]]
+			k := len(ps)
+			// Same-element wildcard guard, as in pass 1: the element's
+			// own entry on the parent stack is not an ancestor.
+			if k > 0 && ps[k-1].elem == best {
+				k--
+			}
+			if j.axisD[s] {
+				keep = k > 0
+			} else {
+				keep = k > 0 && ps[k-1].level == pos.Level[best]-1
+			}
+		}
+		if keep {
+			out[s] = append(out[s], best)
+			j.stacks[s] = append(j.stacks[s], stkEntry{
+				elem:  best,
+				post:  pos.Post[best],
+				level: pos.Level[best],
+			})
+			stats.Emitted++
+		}
+		j.heads[s]++
+		advSurv(s)
+	}
+	return out, owned, nil
+}
+
+// maskLeaves caps the required leaves the fused join's per-leaf bitmask
+// supports; wider queries fall back to the per-Y-pattern join loop.
+const maskLeaves = 64
+
+// fusedQuery is the Evaluator's precomputed metadata for the fused
+// per-leaf join: one bit per required leaf, per-node leaf masks, and
+// the union of the per-Y-pattern dataguide matches.
+type fusedQuery struct {
+	full     uint64   // all required-leaf bits
+	leafMask []uint64 // per node: leaf bits inside its required subtree
+	selfBit  []uint64 // per node: its own leaf bit (0 for interior nodes)
+	isLeaf   []bool   // no required children
+	onChain  []bool   // on the root→dist chain
+	allowed  [][]bool // per node: union of per-Y guide-allowed sets (nil = all)
+}
+
+// holisticDistinguished computes the distinguished-node candidates of q
+// under the per-predicate semijoin semantics in one two-pass stack join
+// over the full pattern, instead of one join per Y-pattern — every
+// per-tag element list streams exactly once per pass.
+//
+// The difference from holisticCandidates is the bit space. There, a bit
+// is one required child edge and an entry must cover all of them before
+// it notifies its parent (conjunctive semantics). Here a bit is one
+// required LEAF and every accumulated bit propagates upward
+// unconditionally, so bits(e@t) reads "some axis-consistent element
+// chain below e reaches leaf l", for each l independently — the
+// Y-pattern decomposition evaluated simultaneously, with each leaf free
+// to pick its own chain. Leaf streams never push at all: a leaf
+// delivers its own bit to the open parent entry at arrival (its
+// ancestors are exactly the entries still open after the pop loop, and
+// a leaf has nothing to accumulate).
+//
+// Pass 2 re-merges only the root→dist chain nodes: leaf-branch nodes
+// influence the answer solely through the bits they left behind in
+// pass 1. Each emitted chain entry carries a mask K — "for which
+// leaves does some ancestor chain with the required bits reach this
+// element" — computed top-down as K(e) = parentK & (bits(e) |
+// ^leafMask[node]); a dist element is an answer iff its K covers every
+// leaf. Entries reuse stkEntry's mask fields: down holds K, child holds
+// the running union of K over the open entries at and below it (the
+// descendant-axis parent lookup is then one load from the stack top).
+func holisticDistinguished(ix *index.Index, q *tpq.Query, f *fusedQuery, stats *JoinStats, stop func() bool) ([]xmldoc.NodeID, error) {
+	n := len(q.Nodes)
+	doc := ix.Document()
+	pos := doc.Pos()
+	var guide *index.Dataguide
+	if f.allowed != nil {
+		guide = ix.Guide()
+	}
+
+	j := joinerPool.Get().(*joiner)
+	defer j.release()
+	j.reset(n)
+
+	dist := q.Dist
+	for i := 0; i < n; i++ {
+		j.parentQ[i] = q.Nodes[i].Parent
+		j.axisD[i] = q.Nodes[i].Axis == tpq.Descendant
+	}
+	for i := 0; i < n; i++ {
+		if optionalBranch(q, i) {
+			continue
+		}
+		j.streams[i] = ix.Elements(q.Nodes[i].Tag)
+		if f.allowed != nil {
+			j.allowed[i] = f.allowed[i]
+		}
+	}
+	rootOnly := xmldoc.InvalidNode
+	if q.Nodes[0].Axis == tpq.Child {
+		rootOnly = doc.Root()
+	}
+	advance := func(i int) {
+		s := j.streams[i]
+		for j.heads[i] < len(s) {
+			e := s[j.heads[i]]
+			if i == 0 && rootOnly != xmldoc.InvalidNode && e != rootOnly {
+				j.heads[i]++
+				continue
+			}
+			if a := j.allowed[i]; a != nil && !a[guide.ElemGuide(e)] {
+				j.heads[i]++
+				stats.GuidePruned++
+				continue
+			}
+			return
+		}
+	}
+	for i := range j.streams {
+		if j.streams[i] == nil {
+			continue
+		}
+		j.heads[i] = 0
+		advance(i)
+		if f.onChain[i] {
+			j.surv[i] = growBitset(j.surv[i], len(j.streams[i]))
+			if i != dist {
+				// Final bit masks, read back in pass 2. Only positions whose
+				// surv bit is set are ever read, so no zeroing is needed.
+				j.vals[i] = growVals(j.vals[i], len(j.streams[i]))
+			}
+		}
+	}
+
+	// notify delivers the leaf bits reachable through an element at
+	// pattern node t to the innermost open entry on t's parent stack,
+	// skipping the element's own entry when a wildcard streams it under
+	// both nodes; a child-axis hop requires the exact level.
+	notify := func(t int, elem xmldoc.NodeID, level int32, bits uint64) {
+		ps := j.stacks[j.parentQ[t]]
+		k := len(ps) - 1
+		if k >= 0 && ps[k].elem == elem {
+			k--
+		}
+		if j.axisD[t] {
+			if k >= 0 {
+				ps[k].down |= bits
+			}
+		} else if k >= 0 && ps[k].level == level-1 {
+			ps[k].child |= bits
+		}
+	}
+
+	// popOne pops the globally innermost open entry (as in
+	// holisticCandidates: minimum post; larger pre first on post ties so
+	// inner notifications land while the outer entries are open). Every
+	// pop records chain survival and propagates its accumulated bits —
+	// upward to the parent node's innermost open entry, and outward to
+	// the next entry of its own stack (descendant-axis bits only: a
+	// chain below an inner entry is below every outer one, but a
+	// child-axis hop is level-exact).
+	//
+	// minOpen caches the smallest open post so the common case — the
+	// next arrival closes nothing — is one comparison instead of a scan
+	// over every stack; pushes lower it, failed pop scans refresh it.
+	const noOpen = int32(1<<31 - 1)
+	minOpen := noOpen
+	popOne := func(threshold int32, all bool) bool {
+		t := -1
+		var minPost int32
+		var minElem xmldoc.NodeID
+		for i := range j.stacks {
+			if m := len(j.stacks[i]); m > 0 {
+				top := &j.stacks[i][m-1]
+				if t < 0 || top.post < minPost ||
+					(top.post == minPost && top.elem > minElem) {
+					t, minPost, minElem = i, top.post, top.elem
+				}
+			}
+		}
+		if t < 0 {
+			minOpen = noOpen
+			return false
+		}
+		if !all && minPost >= threshold {
+			minOpen = minPost
+			return false
+		}
+		m := len(j.stacks[t]) - 1
+		e := j.stacks[t][m]
+		j.stacks[t] = j.stacks[t][:m]
+		below := e.down | e.child
+		if f.onChain[t] {
+			if t == dist {
+				// A dist element must cover every leaf below dist itself;
+				// leaves hanging off the chain above are pass 2's job.
+				if below&f.leafMask[t] == f.leafMask[t] {
+					j.surv[t][e.idx>>6] |= 1 << uint(e.idx&63)
+				}
+			} else {
+				// Interior chain nodes stay useful with partial bits: the
+				// pass-2 mask algebra lets every leaf pick its own chain.
+				j.vals[t][e.idx] = below
+				if below != 0 || f.leafMask[t] != f.full {
+					j.surv[t][e.idx>>6] |= 1 << uint(e.idx&63)
+				}
+			}
+		}
+		if t != 0 && below != 0 {
+			notify(t, e.elem, e.level, below)
+		}
+		if m > 0 {
+			j.stacks[t][m-1].down |= e.down
+		}
+		return true
+	}
+
+	// Pass 1: merge all streams by pre (ties resolved toward the lower
+	// pattern-node index, which is always the parent). Interior elements
+	// push and accumulate; leaf elements deliver their bit at arrival.
+	steps := 0
+	for {
+		if steps++; stop != nil && steps%stopCheckEvery == 0 && stop() {
+			return nil, errStopped
+		}
+		s := -1
+		var best xmldoc.NodeID
+		for i := range j.streams {
+			if j.streams[i] == nil || j.heads[i] >= len(j.streams[i]) {
+				continue
+			}
+			if e := j.streams[i][j.heads[i]]; s < 0 || e < best {
+				s, best = i, e
+			}
+		}
+		if s < 0 {
+			break
+		}
+		if minOpen < int32(best) {
+			for popOne(int32(best), false) {
+			}
+		}
+		if f.isLeaf[s] {
+			if s != 0 {
+				notify(s, best, pos.Level[best], f.selfBit[s])
+			}
+			if s == dist {
+				// A leaf dist node has no downward obligations of its own.
+				h := j.heads[s]
+				j.surv[s][h>>6] |= 1 << uint(h&63)
+			}
+		} else {
+			post := pos.Post[best]
+			j.stacks[s] = append(j.stacks[s], stkEntry{
+				elem:  best,
+				post:  post,
+				level: pos.Level[best],
+				idx:   int32(j.heads[s]),
+			})
+			if post < minOpen {
+				minOpen = post
+			}
+			stats.StackPushes++
+		}
+		j.heads[s]++
+		advance(s)
+	}
+	for popOne(0, true) {
+	}
+
+	if dist == 0 {
+		// The dist node is the pattern root: no chain hangs above it, so
+		// the pass-1 survivors are the answer.
+		var out []xmldoc.NodeID
+		for h, s0 := 0, j.streams[0]; h < len(s0); h++ {
+			if w := j.surv[0][h>>6]; w == 0 {
+				h |= 63 // skip the rest of an empty word
+			} else if w&(1<<uint(h&63)) != 0 {
+				out = append(out, s0[h])
+			}
+		}
+		stats.Emitted += len(out)
+		return out, nil
+	}
+
+	// Pass 2: top-down over the chain survivors. Pops need no recording
+	// or ordering here — entries just expire.
+	popTo := func(threshold int32) {
+		for i := range j.stacks {
+			st := j.stacks[i]
+			m := len(st)
+			for m > 0 && st[m-1].post < threshold {
+				m--
+			}
+			j.stacks[i] = st[:m]
+		}
+	}
+	advSurv := func(i int) {
+		s := j.streams[i]
+		for j.heads[i] < len(s) {
+			h := j.heads[i]
+			if j.surv[i][h>>6]&(1<<uint(h&63)) != 0 {
+				return
+			}
+			j.heads[i]++
+		}
+	}
+	for i := range j.streams {
+		if j.streams[i] != nil && f.onChain[i] {
+			j.heads[i] = 0
+			advSurv(i)
+		}
+	}
+	var out []xmldoc.NodeID
+	for {
+		if steps++; stop != nil && steps%stopCheckEvery == 0 && stop() {
+			return nil, errStopped
+		}
+		s := -1
+		var best xmldoc.NodeID
+		for i := range j.streams {
+			if j.streams[i] == nil || !f.onChain[i] || j.heads[i] >= len(j.streams[i]) {
+				continue
+			}
+			// Chain node indices ascend root→dist, so the strict < keeps
+			// parents before children on same-element (wildcard) ties.
+			if e := j.streams[i][j.heads[i]]; s < 0 || e < best {
+				s, best = i, e
+			}
+		}
+		if s < 0 {
+			break
+		}
+		popTo(int32(best))
+		var cand uint64
+		if s == 0 {
+			cand = f.full
+		} else {
+			ps := j.stacks[j.parentQ[s]]
+			k := len(ps)
+			// Same-element wildcard guard, as in pass 1.
+			if k > 0 && ps[k-1].elem == best {
+				k--
+			}
+			if j.axisD[s] {
+				if k > 0 {
+					cand = ps[k-1].child // union of K over the open ancestors
+				}
+			} else if k > 0 && ps[k-1].level == pos.Level[best]-1 {
+				cand = ps[k-1].down // K of the exact-level parent
+			}
+		}
+		if s == dist {
+			// Survival already pinned the leaves below dist, so the
+			// element's K reduces to cand (see the survival cases above).
+			if cand == f.full {
+				out = append(out, best)
+			}
+		} else if cand != 0 {
+			h := j.heads[s]
+			k := cand & (j.vals[s][h] | ^f.leafMask[s])
+			if k != 0 {
+				acc := k
+				if m := len(j.stacks[s]); m > 0 {
+					acc |= j.stacks[s][m-1].child
+				}
+				j.stacks[s] = append(j.stacks[s], stkEntry{
+					elem:  best,
+					post:  pos.Post[best],
+					level: pos.Level[best],
+					down:  k,
+					child: acc,
+				})
+			}
+		}
+		j.heads[s]++
+		advSurv(s)
+	}
+	stats.Emitted += len(out)
+	return out, nil
+}
+
+// reset prepares the pooled scratch for a join over n pattern nodes.
+func (j *joiner) reset(n int) {
+	j.stacks = growSlices(j.stacks, n)
+	j.surv = growSlices(j.surv, n)
+	j.vals = growSlices(j.vals, n)
+	for i := range j.stacks {
+		j.stacks[i] = j.stacks[i][:0]
+	}
+	j.streams = growSlices(j.streams, n)
+	j.allowed = growSlices(j.allowed, n)
+	for i := 0; i < n; i++ {
+		j.streams[i], j.allowed[i] = nil, nil
+	}
+	j.heads = growInts(j.heads, n)
+	j.parentQ = growInts(j.parentQ, n)
+	j.axisD = growBools(j.axisD, n)
+	j.bit = growU64(j.bit, n)
+	j.reqMask = growU64(j.reqMask, n)
+	j.depth = growI32(j.depth, n)
+	for i := 0; i < n; i++ {
+		j.heads[i], j.bit[i], j.reqMask[i], j.depth[i] = 0, 0, 0, 0
+		j.axisD[i] = false
+	}
+}
+
+// release drops references into the index (tag streams, guide masks) so
+// pooling the scratch never pins a document, then returns it.
+func (j *joiner) release() {
+	for i := range j.streams {
+		j.streams[i], j.allowed[i] = nil, nil
+	}
+	joinerPool.Put(j)
+}
+
+func growSlices[T any](s [][]T, n int) [][]T {
+	if cap(s) < n {
+		return make([][]T, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growVals returns a mask array able to index n elements. Contents are
+// deliberately left stale: the fused join only reads positions whose
+// survivor bit was set, and those are always written first.
+func growVals(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// growBitset returns a zeroed bitset able to index bits elements.
+func growBitset(b []uint64, bits int) []uint64 {
+	words := (bits + 63) / 64
+	if cap(b) < words {
+		return make([]uint64, words)
+	}
+	b = b[:words]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package twig
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tpq"
+	"repro/internal/xmldoc"
+)
+
+// sameIDSets reports per-slot equality, treating nil and empty as equal.
+func sameIDSets(a, b [][]xmldoc.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestHolisticAgreesWithCandidates: the stack join must produce exactly
+// the two-sweep's per-pattern-node candidate sets on random documents
+// and patterns — the tentpole differential.
+func TestHolisticAgreesWithCandidates(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 1500; iter++ {
+		ix := randomDoc(r)
+		q := randomStructuralQuery(r)
+		want := Candidates(ix, q)
+		got := HolisticCandidates(ix, q)
+		if !sameIDSets(got, want) {
+			t.Fatalf("iter %d: holistic %v vs two-sweep %v\nq: %s\ndoc: %s",
+				iter, got, want, q, ix.Document().XMLString())
+		}
+	}
+}
+
+// TestEvaluatorAgreesWithDistinguished: the twigjoin access path's
+// Y-pattern decomposition must reproduce the scan path's semijoin
+// semantics element for element.
+func TestEvaluatorAgreesWithDistinguished(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 1500; iter++ {
+		ix := randomDoc(r)
+		q := randomStructuralQuery(r)
+		want := Distinguished(ix, q)
+		got, _, err := NewEvaluator(ix, q).Distinguished(context.Background())
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: twigjoin %v vs scan %v\nq: %s\ndoc: %s",
+				iter, got, want, q, ix.Document().XMLString())
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("iter %d: twigjoin %v vs scan %v\nq: %s\ndoc: %s",
+					iter, got, want, q, ix.Document().XMLString())
+			}
+		}
+	}
+}
+
+// TestGuideShortCircuit: tags that all exist but never along a common
+// path must be rejected by the dataguide alone — no stream is opened and
+// no element is pushed.
+func TestGuideShortCircuit(t *testing.T) {
+	ix := buildDoc(t, `<a><b>x</b><c>y</c></a>`)
+	q := tpq.MustParse(`//b[./c]`)
+	ev := NewEvaluator(ix, q)
+	got, stats, err := ev.Distinguished(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("candidates = %v, want none", got)
+	}
+	if !stats.GuideShortCircuit {
+		t.Fatalf("stats = %+v: the guide must short-circuit this query", stats)
+	}
+	if stats.StackPushes != 0 || stats.Emitted != 0 {
+		t.Fatalf("stats = %+v: a short-circuited join must not stream", stats)
+	}
+	// Sanity: the scan path agrees the answer is empty.
+	if d := Distinguished(ix, q); len(d) != 0 {
+		t.Fatalf("scan path disagrees: %v", d)
+	}
+}
+
+// TestGuidePruneCounts: elements of the right tag on non-embedding
+// paths are skipped before entering the merge.
+func TestGuidePruneCounts(t *testing.T) {
+	// Two c populations: under b (matches //b//c) and under d (pruned).
+	ix := buildDoc(t, `<a><b><c/><c/></b><d><c/><c/><c/></d></a>`)
+	ev := NewEvaluator(ix, tpq.MustParse(`//b//c`))
+	got, stats, err := ev.Distinguished(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v, want the 2 c under b", got)
+	}
+	if stats.GuidePruned < 3 {
+		t.Fatalf("stats = %+v: the 3 c under d must be guide-pruned", stats)
+	}
+}
+
+// TestEvaluatorCancellation: a cancelled context aborts the join with
+// the context's error.
+func TestEvaluatorCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ix := randomDoc(r)
+	ev := NewEvaluator(ix, tpq.MustParse(`//a//b`))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ev.Distinguished(ctx); err != nil && err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	// Note: tiny documents may finish between cancellation probes; the
+	// contract is only that a returned error is the context's.
+}
+
+// TestEvaluatorConcurrent: one Evaluator must serve concurrent
+// Distinguished calls (the plan layer shares it across Executes).
+func TestEvaluatorConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	ix := randomDoc(r)
+	q := tpq.MustParse(`//a[./b]//c`)
+	ev := NewEvaluator(ix, q)
+	want, _, err := ev.Distinguished(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				got, _, err := ev.Distinguished(context.Background())
+				if err != nil {
+					done <- err
+					return
+				}
+				if len(got) != len(want) {
+					t.Errorf("concurrent run diverged: %v vs %v", got, want)
+					done <- nil
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

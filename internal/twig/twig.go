@@ -1,17 +1,25 @@
-// Package twig implements a holistic structural-semijoin filter for tree
-// pattern skeletons, in the family of stack-based twig join algorithms
+// Package twig implements holistic structural joins for tree pattern
+// skeletons, in the family of stack-based twig join algorithms
 // (Bruno et al.'s TwigStack lineage; the paper's related algorithms are
 // the structural joins its plans are built from — Section 6.4 uses
 // indexed nested loops, and this package provides the set-at-a-time
-// alternative used as an ablation access path).
+// alternative used as an access path).
 //
 // Given a query, Candidates computes for every required pattern node the
 // exact set of elements that participate in at least one embedding of the
 // required structural skeleton (tags + axes; predicates other than
 // structure are left to downstream operators, preserving the paper's
-// per-predicate semijoin semantics). The computation is two linear
-// semijoin sweeps over the sorted tag lists — one bottom-up, one
-// top-down — which is complete for tree-shaped patterns.
+// per-predicate semijoin semantics). Two implementations produce the
+// same sets: the two-sweep semijoin below (one bottom-up, one top-down
+// pass over the sorted tag lists — complete for tree-shaped patterns)
+// and the stack-based merge join in holistic.go, which streams every
+// tag list exactly once. Evaluator combines the holistic join with
+// strong-dataguide pruning (guide.go) into the plan layer's twigjoin
+// access path.
+//
+// All structural predicates run on the document's flat (pre, post,
+// level) positional arrays (xmldoc.Positions): an ancestor test is one
+// interval comparison, a parent test adds a level comparison.
 package twig
 
 import (
@@ -25,29 +33,40 @@ import (
 // Candidates returns, per pattern node index, the sorted element IDs
 // participating in some embedding of q's required structural skeleton.
 // Optional branches are skipped (their slots hold nil).
+//
+// The returned slices are filtered copy-on-write: a slot whose list was
+// never narrowed aliases the index's shared tag list. Callers must
+// treat every slot as read-only.
 func Candidates(ix *index.Index, q *tpq.Query) [][]xmldoc.NodeID {
+	cand, _ := candidatesOwned(ix, q)
+	return cand
+}
+
+// candidatesOwned is Candidates plus per-slot ownership: owned[i]
+// reports whether cand[i] is private to the caller (false means it
+// aliases the index's tag list and must not be mutated).
+func candidatesOwned(ix *index.Index, q *tpq.Query) (cand [][]xmldoc.NodeID, owned []bool) {
 	doc := ix.Document()
+	pos := doc.Pos()
 	n := len(q.Nodes)
-	cand := make([][]xmldoc.NodeID, n)
+	cand = make([][]xmldoc.NodeID, n)
+	owned = make([]bool, n)
 	skip := make([]bool, n)
 	for i := range q.Nodes {
 		skip[i] = optionalBranch(q, i)
 		if skip[i] {
 			continue
 		}
-		// Tag lists are already sorted in document order.
-		cand[i] = append([]xmldoc.NodeID(nil), ix.Elements(q.Nodes[i].Tag)...)
+		// Tag lists are already sorted in document order. Lazy filtering
+		// below copies only when an element is actually removed.
+		cand[i] = ix.Elements(q.Nodes[i].Tag)
 	}
 	// Root axis: an absolute pattern root must be the document root.
 	if q.Nodes[0].Axis == tpq.Child {
 		root := doc.Root()
-		keep := cand[0][:0]
-		for _, e := range cand[0] {
-			if e == root {
-				keep = append(keep, e)
-			}
-		}
-		cand[0] = keep
+		cand[0], owned[0] = filterCOW(cand[0], owned[0], func(e xmldoc.NodeID) bool {
+			return e == root
+		})
 	}
 
 	// Bottom-up: postorder — a node survives if every required child
@@ -62,9 +81,9 @@ func Candidates(ix *index.Index, q *tpq.Query) [][]xmldoc.NodeID {
 				continue
 			}
 			if q.Nodes[c].Axis == tpq.Child {
-				cand[p] = keepWithChildIn(doc, cand[p], cand[c])
+				cand[p], owned[p] = keepWithChildIn(doc, pos, cand[p], owned[p], cand[c])
 			} else {
-				cand[p] = keepWithDescendantIn(doc, cand[p], cand[c])
+				cand[p], owned[p] = keepWithDescendantIn(pos, cand[p], owned[p], cand[c])
 			}
 		}
 	}
@@ -77,12 +96,12 @@ func Candidates(ix *index.Index, q *tpq.Query) [][]xmldoc.NodeID {
 		}
 		p := q.Nodes[c].Parent
 		if q.Nodes[c].Axis == tpq.Child {
-			cand[c] = keepWithParentIn(doc, cand[c], cand[p])
+			cand[c], owned[c] = keepWithParentIn(doc, cand[c], owned[c], cand[p])
 		} else {
-			cand[c] = keepWithAncestorIn(doc, cand[c], cand[p])
+			cand[c], owned[c] = keepWithAncestorIn(pos, cand[c], owned[c], cand[p])
 		}
 	}
-	return cand
+	return cand, owned
 }
 
 // Distinguished returns the distinguished-node candidates under the
@@ -101,15 +120,16 @@ func Candidates(ix *index.Index, q *tpq.Query) [][]xmldoc.NodeID {
 func Distinguished(ix *index.Index, q *tpq.Query) []xmldoc.NodeID {
 	leaves := requiredLeaves(q)
 	var result []xmldoc.NodeID
+	resultOwned := false
 	first := true
 	for _, leaf := range leaves {
-		y, yDist := yPattern(q, leaf)
-		cands := Candidates(ix, y)[yDist]
+		y, yDist, _ := yPattern(q, leaf)
+		cands, owned := candidatesOwned(ix, y)
 		if first {
-			result = cands
+			result, resultOwned = cands[yDist], owned[yDist]
 			first = false
 		} else {
-			result = intersectSorted(result, cands)
+			result, resultOwned = intersectSorted(result, resultOwned, cands[yDist])
 		}
 		if len(result) == 0 {
 			return nil
@@ -118,6 +138,7 @@ func Distinguished(ix *index.Index, q *tpq.Query) []xmldoc.NodeID {
 	if first { // defensive: dist itself is always a required leaf holder
 		return Candidates(ix, q)[q.Dist]
 	}
+	_ = resultOwned
 	return result
 }
 
@@ -147,8 +168,9 @@ func requiredLeaves(q *tpq.Query) []int {
 
 // yPattern builds the sub-pattern consisting of the root→dist and
 // root→leaf chains of q (sharing their common prefix) and returns it
-// with the new index of the distinguished node.
-func yPattern(q *tpq.Query, leaf int) (*tpq.Query, int) {
+// with the new index of the distinguished node, plus the node remap
+// (remap[full] = index in the Y-pattern, -1 for nodes outside it).
+func yPattern(q *tpq.Query, leaf int) (*tpq.Query, int, []int) {
 	distAnc := q.Ancestors(q.Dist)
 	leafAnc := q.Ancestors(leaf)
 	include := map[int]bool{}
@@ -159,7 +181,10 @@ func yPattern(q *tpq.Query, leaf int) (*tpq.Query, int) {
 		include[n] = true
 	}
 	// Rebuild in preorder so parents precede children.
-	remap := map[int]int{}
+	remap := make([]int, len(q.Nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
 	var y *tpq.Query
 	for _, n := range q.Descendants(0) {
 		if !include[n] {
@@ -174,12 +199,51 @@ func yPattern(q *tpq.Query, leaf int) (*tpq.Query, int) {
 		remap[n] = y.AddChild(remap[src.Parent], src.Tag, src.Axis)
 	}
 	y.Dist = remap[q.Dist]
-	return y, y.Dist
+	return y, y.Dist, remap
 }
 
-// intersectSorted intersects two ascending NodeID lists.
-func intersectSorted(a, b []xmldoc.NodeID) []xmldoc.NodeID {
-	out := a[:0]
+// filterCOW filters xs with keep (called once per element, in document
+// order) without copying until the first removal: the unfiltered
+// prefix — or the whole list, when nothing is removed — continues to
+// alias the input. It returns the filtered list and whether the caller
+// now owns its backing array (a shared input that loses no element
+// stays shared).
+func filterCOW(xs []xmldoc.NodeID, owned bool, keep func(xmldoc.NodeID) bool) ([]xmldoc.NodeID, bool) {
+	for i, x := range xs {
+		if keep(x) {
+			continue
+		}
+		// First removal: materialize the kept prefix, then filter the rest.
+		var out []xmldoc.NodeID
+		if owned {
+			out = xs[:i]
+		} else {
+			out = make([]xmldoc.NodeID, i, len(xs)-1)
+			copy(out, xs[:i])
+		}
+		for _, y := range xs[i+1:] {
+			if keep(y) {
+				out = append(out, y)
+			}
+		}
+		return out, true
+	}
+	return xs, owned
+}
+
+// intersectSorted intersects two ascending NodeID lists, reusing a's
+// backing array only when the caller owns it.
+func intersectSorted(a []xmldoc.NodeID, aOwned bool, b []xmldoc.NodeID) ([]xmldoc.NodeID, bool) {
+	var out []xmldoc.NodeID
+	if aOwned {
+		out = a[:0]
+	} else {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		out = make([]xmldoc.NodeID, 0, n)
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -193,7 +257,7 @@ func intersectSorted(a, b []xmldoc.NodeID) []xmldoc.NodeID {
 			j++
 		}
 	}
-	return out
+	return out, true
 }
 
 // optionalBranch reports whether pattern node i lies on an optional
@@ -221,88 +285,82 @@ func postorder(q *tpq.Query) []int {
 }
 
 // keepWithDescendantIn keeps parents having at least one proper
-// descendant in ds. Both lists are sorted by Start; for each parent a
-// binary search finds the first potential descendant.
-func keepWithDescendantIn(doc *xmldoc.Document, ps, ds []xmldoc.NodeID) []xmldoc.NodeID {
+// descendant in ds. Both lists are sorted by pre, so a single merge
+// pointer replaces per-parent binary searches; the test itself is one
+// interval comparison on the flat positional arrays.
+func keepWithDescendantIn(pos xmldoc.Positions, ps []xmldoc.NodeID, owned bool, ds []xmldoc.NodeID) ([]xmldoc.NodeID, bool) {
 	if len(ds) == 0 {
-		return nil
+		return nil, true
 	}
-	out := ps[:0]
-	for _, p := range ps {
-		node := doc.Node(p)
-		i := sort.Search(len(ds), func(i int) bool { return ds[i] > p })
-		if i < len(ds) && doc.Node(ds[i]).Start <= node.End {
-			out = append(out, p)
+	di := 0
+	return filterCOW(ps, owned, func(p xmldoc.NodeID) bool {
+		for di < len(ds) && ds[di] <= p {
+			di++
 		}
-	}
-	return out
+		return di < len(ds) && int32(ds[di]) <= pos.Post[p]
+	})
 }
 
-// keepWithChildIn keeps parents having a direct child in cs. It marks
-// the parents of cs (sorted, deduplicated) and intersects.
-func keepWithChildIn(doc *xmldoc.Document, ps, cs []xmldoc.NodeID) []xmldoc.NodeID {
+// keepWithChildIn keeps parents having a direct child in cs: the
+// parents of cs (one O(1) pointer each) are sorted and merged against
+// ps.
+func keepWithChildIn(doc *xmldoc.Document, pos xmldoc.Positions, ps []xmldoc.NodeID, owned bool, cs []xmldoc.NodeID) ([]xmldoc.NodeID, bool) {
 	if len(cs) == 0 {
-		return nil
+		return nil, true
 	}
 	parents := make([]xmldoc.NodeID, 0, len(cs))
 	for _, c := range cs {
 		parents = append(parents, doc.Parent(c))
 	}
 	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
-	out := ps[:0]
-	for _, p := range ps {
-		i := sort.Search(len(parents), func(i int) bool { return parents[i] >= p })
-		if i < len(parents) && parents[i] == p {
-			out = append(out, p)
+	pi := 0
+	return filterCOW(ps, owned, func(p xmldoc.NodeID) bool {
+		for pi < len(parents) && parents[pi] < p {
+			pi++
 		}
-	}
-	return out
+		return pi < len(parents) && parents[pi] == p
+	})
 }
 
 // keepWithParentIn keeps children whose parent is in ps (sorted).
-func keepWithParentIn(doc *xmldoc.Document, cs, ps []xmldoc.NodeID) []xmldoc.NodeID {
-	out := cs[:0]
-	for _, c := range cs {
+func keepWithParentIn(doc *xmldoc.Document, cs []xmldoc.NodeID, owned bool, ps []xmldoc.NodeID) ([]xmldoc.NodeID, bool) {
+	if len(ps) == 0 {
+		return nil, true
+	}
+	return filterCOW(cs, owned, func(c xmldoc.NodeID) bool {
 		p := doc.Parent(c)
 		if p == xmldoc.InvalidNode {
-			continue
+			return false
 		}
 		i := sort.Search(len(ps), func(i int) bool { return ps[i] >= p })
-		if i < len(ps) && ps[i] == p {
-			out = append(out, c)
-		}
-	}
-	return out
+		return i < len(ps) && ps[i] == p
+	})
 }
 
 // keepWithAncestorIn keeps descendants having a proper ancestor in as,
-// via a single merge with a stack of active ancestor intervals.
-func keepWithAncestorIn(doc *xmldoc.Document, ds, as []xmldoc.NodeID) []xmldoc.NodeID {
+// via a single merge with a stack of active ancestor intervals over the
+// flat positional arrays.
+func keepWithAncestorIn(pos xmldoc.Positions, ds []xmldoc.NodeID, owned bool, as []xmldoc.NodeID) ([]xmldoc.NodeID, bool) {
 	if len(as) == 0 {
-		return nil
+		return nil, true
 	}
-	out := ds[:0]
-	var stack []int32 // End positions of active ancestors
+	var stack []int32 // post positions of active ancestors
 	ai := 0
-	for _, d := range ds {
-		dn := doc.Node(d)
+	return filterCOW(ds, owned, func(d xmldoc.NodeID) bool {
 		// Push ancestors starting before d.
 		for ai < len(as) && as[ai] < d {
-			an := doc.Node(as[ai])
+			aPost := pos.Post[as[ai]]
 			// Pop finished intervals first.
-			for len(stack) > 0 && stack[len(stack)-1] < an.Start {
+			for len(stack) > 0 && stack[len(stack)-1] < int32(as[ai]) {
 				stack = stack[:len(stack)-1]
 			}
-			stack = append(stack, an.End)
+			stack = append(stack, aPost)
 			ai++
 		}
 		// Pop ancestors that end before d starts.
-		for len(stack) > 0 && stack[len(stack)-1] < dn.Start {
+		for len(stack) > 0 && stack[len(stack)-1] < int32(d) {
 			stack = stack[:len(stack)-1]
 		}
-		if len(stack) > 0 {
-			out = append(out, d)
-		}
-	}
-	return out
+		return len(stack) > 0
+	})
 }

@@ -134,7 +134,9 @@ func (b *Builder) Document() (*Document, error) {
 	if len(b.nodes) == 0 {
 		return nil, fmt.Errorf("xmldoc: empty document")
 	}
-	return &Document{nodes: b.nodes, textLen: b.textLen}, nil
+	d := &Document{nodes: b.nodes, textLen: b.textLen}
+	d.buildPositions()
+	return d, nil
 }
 
 // MustDocument is Document for tests and generators with known-good input;

@@ -62,6 +62,9 @@ type Document struct {
 	nodes []Node
 	// textLen caches the total character-data length, used by scoring.
 	textLen int
+	// post/level are the flat positional arrays behind Pos(); see pos.go.
+	post  []int32
+	level []int32
 }
 
 // Root returns the document's root element ID, or InvalidNode for an

@@ -42,6 +42,7 @@ func Load(r io.Reader) (*Document, error) {
 	if err := d.validate(); err != nil {
 		return nil, fmt.Errorf("xmldoc: load: corrupt snapshot: %w", err)
 	}
+	d.buildPositions()
 	return d, nil
 }
 

@@ -1,0 +1,83 @@
+package xmldoc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomPosDoc builds a random document through the Builder so the
+// positional arrays come from the normal finalization path.
+func randomPosDoc(r *rand.Rand) *Document {
+	tags := []string{"a", "b", "c", "d"}
+	b := NewBuilder()
+	var build func(depth, budget int) int
+	build = func(depth, budget int) int {
+		used := 1
+		b.Start(tags[r.Intn(len(tags))])
+		if r.Intn(4) == 0 {
+			b.Text("t")
+		}
+		for used < budget && depth < 6 && r.Intn(3) != 0 {
+			used += build(depth+1, budget-used)
+		}
+		b.End()
+		return used
+	}
+	build(0, 2+r.Intn(60))
+	return b.MustDocument()
+}
+
+// TestPositionsAgreeWithTree: the flat-array Ancestor/ParentOf tests
+// must agree with the pointer-chasing reference on every node pair.
+func TestPositionsAgreeWithTree(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		d := randomPosDoc(r)
+		pos := d.Pos()
+		if len(pos.Post) != d.Len() || len(pos.Level) != d.Len() {
+			t.Fatalf("positions sized %d/%d for %d nodes",
+				len(pos.Post), len(pos.Level), d.Len())
+		}
+		for a := NodeID(0); int(a) < d.Len(); a++ {
+			if pos.Post[a] != d.Node(a).End || pos.Level[a] != d.Node(a).Level {
+				t.Fatalf("node %d: pos (%d,%d) != node (%d,%d)",
+					a, pos.Post[a], pos.Level[a], d.Node(a).End, d.Node(a).Level)
+			}
+			for n := NodeID(0); int(n) < d.Len(); n++ {
+				if got, want := pos.Ancestor(a, n), a != n && d.IsAncestor(a, n); got != want {
+					t.Fatalf("Ancestor(%d,%d) = %t, tree says %t", a, n, got, want)
+				}
+				if got, want := pos.ParentOf(a, n), d.Parent(n) == a && a != n; got != want {
+					t.Fatalf("ParentOf(%d,%d) = %t, tree says %t", a, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPositionsSurviveLoad: a persisted document must come back with its
+// positional arrays rebuilt.
+func TestPositionsSurviveLoad(t *testing.T) {
+	d, err := ParseString(`<a><b><c/></b><d>t</d></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := ld.Pos()
+	if len(pos.Post) != ld.Len() {
+		t.Fatalf("loaded document has %d post entries for %d nodes", len(pos.Post), ld.Len())
+	}
+	for i := 0; i < ld.Len(); i++ {
+		if pos.Post[i] != ld.Node(NodeID(i)).End || pos.Level[i] != ld.Node(NodeID(i)).Level {
+			t.Fatalf("node %d: positions diverge after Load", i)
+		}
+	}
+}

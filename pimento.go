@@ -125,6 +125,7 @@ type options struct {
 	strategy  Strategy
 	literal   bool
 	twig      bool
+	access    AccessPath
 	par       int
 	thesaurus *text.Thesaurus
 	thWeight  float64
@@ -159,8 +160,28 @@ func WithLiteralRewrite() Option { return func(o *options) { o.literal = true } 
 
 // WithTwigAccess uses the holistic twig structural semijoin as the
 // access path instead of scan + per-candidate matching — faster on
-// structure-heavy queries over large documents.
+// structure-heavy queries over large documents. Legacy shorthand for
+// WithAccessPath(AccessTwigJoin).
 func WithTwigAccess() Option { return func(o *options) { o.twig = true } }
+
+// AccessPath selects how a plan produces distinguished-node candidates:
+// AccessAuto (tag-statistics cost estimate, the default), AccessScan
+// (stream the tag's index list, match per candidate), or AccessTwigJoin
+// (holistic structural join with dataguide pruning).
+type AccessPath = plan.AccessPath
+
+// Access-path values for WithAccessPath.
+const (
+	AccessAuto     = plan.AccessAuto
+	AccessScan     = plan.AccessScan
+	AccessTwigJoin = plan.AccessTwigJoin
+)
+
+// WithAccessPath selects the candidate access path explicitly; the
+// default AccessAuto picks twigjoin for structural queries whose tag
+// lists are cheap to stream relative to the scan's candidate count,
+// and scan otherwise.
+func WithAccessPath(a AccessPath) Option { return func(o *options) { o.access = a } }
 
 // WithParallelism sets how many workers execute the physical plan: 0
 // (the default) uses GOMAXPROCS, scaled down when the document yields
@@ -303,6 +324,7 @@ func (e *Engine) SearchContext(ctx context.Context, q *Query, prof *Profile, opt
 		Strategy:        o.strategy,
 		LiteralRewrite:  o.literal,
 		TwigAccess:      o.twig,
+		Access:          o.access,
 		Parallelism:     o.par,
 		Thesaurus:       o.thesaurus,
 		ThesaurusWeight: o.thWeight,

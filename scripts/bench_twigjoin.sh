@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench_twigjoin.sh — run the access-path benchmarks (scan vs holistic
+# twig join) and write BENCH_twigjoin.json: one record per (benchmark,
+# plan, size, access) with ns/op, so the twigjoin speedup claim is a
+# committed, regenerable artifact.
+#
+# Usage: scripts/bench_twigjoin.sh [output.json]
+# Tune with BENCHTIME (default 1x for CI speed; use e.g. 5s for stable
+# numbers) and BENCH (regexp of benchmarks to run).
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_twigjoin.json}"
+benchtime="${BENCHTIME:-1x}"
+bench="${BENCH:-BenchmarkTwigJoin}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" . | tee "$raw"
+
+awk '
+BEGIN { print "[" ; n = 0 }
+/^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    size = ""; plan = ""; kors = ""; access = ""
+    split(name, parts, "/")
+    for (i in parts) {
+        if (parts[i] ~ /^size=/)   { size   = substr(parts[i], 6) }
+        if (parts[i] ~ /^plan=/)   { plan   = substr(parts[i], 6) }
+        if (parts[i] ~ /^kors=/)   { kors   = substr(parts[i], 6) }
+        if (parts[i] ~ /^access=/) { access = substr(parts[i], 8) }
+    }
+    if (n++) printf ",\n"
+    printf "  {\"benchmark\": \"%s\"", name
+    if (plan != "")   printf ", \"plan\": \"%s\"", plan
+    if (kors != "")   printf ", \"kors\": %s", kors
+    if (size != "")   printf ", \"size\": \"%s\"", size
+    if (access != "") printf ", \"access\": \"%s\"", access
+    printf ", \"iters\": %s, \"ns_per_op\": %s}", $2, $3
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
