@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel bench-twigjoin metrics-lint profile vet-profiles
+.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel bench-twigjoin bench-serving serving-smoke metrics-lint profile vet-profiles
 
-ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles
+ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles serving-smoke
 
 fmt-check:
 	@files="$$(gofmt -l .)"; \
@@ -84,6 +84,18 @@ bench-parallel:
 # plan strategies and document sizes (BENCHTIME=5s for stable numbers).
 bench-twigjoin:
 	scripts/bench_twigjoin.sh
+
+# Regenerates BENCH_serving.json: pimentod p50/p99/QPS under load with
+# the admission scheduler (pooled) vs without it (naive), via
+# cmd/loadgen. DURATION=10s for stable numbers.
+bench-serving:
+	scripts/loadtest.sh
+
+# Fixed-seed serving smoke for CI: one small A/B matrix at low load —
+# zero errors, answers byte-identical to the sequential baseline, p99
+# bounded. Catches scheduler deadlocks and answer drift, not perf.
+serving-smoke:
+	DURATION=2s SIZES=101K CONCS=16 MAX_P99_MS=5000 scripts/loadtest.sh /tmp/bench_serving_smoke.json
 
 # Profiles pimentod under a Fig. 7-style workload: starts the daemon
 # with pprof enabled on -debug-addr, drives repeated personalized

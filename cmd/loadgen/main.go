@@ -1,0 +1,281 @@
+// Command loadgen is the QPS load harness for pimentod: it drives
+// /search with either an open-loop Poisson arrival process (-qps) or a
+// fixed set of closed-loop clients (-conc), records per-request
+// latency, and prints a JSON summary (p50/p90/p99, achieved QPS, status
+// counts) to stdout.
+//
+//	loadgen -addr localhost:8080 -doc xmark -keywords "gold purpose" -qps 200 -duration 10s
+//	loadgen -addr localhost:8080 -doc xmark -query '//item' -conc 32 -duration 10s
+//
+// Open loop is the honest way to measure a server under load: arrivals
+// keep coming at the offered rate whether or not earlier requests have
+// finished, so queueing delay shows up in the latencies instead of
+// being absorbed by the generator (closed-loop coordinated omission).
+// Inter-arrival gaps are exponential with a fixed -seed, so a run is
+// reproducible.
+//
+// Every 200-response's ranked results are digested (SHA-256 over the
+// normalized "results" array); the summary reports the set of distinct
+// digests seen. A scheduler or parallelism change that altered answers
+// would show up as digest drift between runs — scripts/loadtest.sh
+// compares the digest against a sequential-baseline run.
+//
+// -max-p99-ms and -max-errors turn the run into a smoke gate: the
+// process exits 1 when the bound is exceeded (used by `make ci`).
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type request struct {
+	Doc         string `json:"doc"`
+	Query       string `json:"query,omitempty"`
+	Keywords    string `json:"keywords,omitempty"`
+	Profile     string `json:"profile,omitempty"`
+	K           int    `json:"k,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	NoCache     bool   `json:"no_cache,omitempty"`
+	TimeoutMS   int    `json:"timeout_ms,omitempty"`
+}
+
+// sample is one completed request.
+type sample struct {
+	latency time.Duration
+	status  int
+}
+
+// summary is the JSON report printed to stdout.
+type summary struct {
+	Mode        string         `json:"mode"` // "open" or "closed"
+	TargetQPS   float64        `json:"target_qps,omitempty"`
+	Conc        int            `json:"conc,omitempty"`
+	DurationS   float64        `json:"duration_s"`
+	Requests    int            `json:"requests"`
+	AchievedQPS float64        `json:"achieved_qps"`
+	P50MS       float64        `json:"p50_ms"`
+	P90MS       float64        `json:"p90_ms"`
+	P99MS       float64        `json:"p99_ms"`
+	MaxMS       float64        `json:"max_ms"`
+	Status      map[string]int `json:"status"`
+	Errors      int            `json:"errors"` // transport errors + non-2xx/4xx-shed
+	Shed        int            `json:"shed"`   // 429 + 503: refused by admission, not failures
+	Digests     []string       `json:"digests"`
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "pimentod host:port")
+	doc := flag.String("doc", "xmark", "document name to search")
+	query := flag.String("query", "", "TPQ query (mutually additive with -keywords)")
+	keywords := flag.String("keywords", "", "keyword search terms")
+	profile := flag.String("profile", "", "inline profile text")
+	k := flag.Int("k", 10, "top-k")
+	par := flag.Int("parallelism", 0, "requested parallelism (0 = auto)")
+	noCache := flag.Bool("no-cache", true, "bypass the result cache (measure execution, not cache hits)")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-request server-side timeout_ms (0 = server default)")
+	qps := flag.Float64("qps", 0, "open-loop offered load in requests/second (0 = closed loop)")
+	conc := flag.Int("conc", 8, "closed-loop client count (ignored when -qps > 0)")
+	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
+	seed := flag.Int64("seed", 1, "RNG seed for the Poisson arrival process")
+	maxP99 := flag.Float64("max-p99-ms", 0, "exit 1 if p99 exceeds this many milliseconds (0 disables)")
+	maxErrors := flag.Int("max-errors", -1, "exit 1 if errors exceed this count (-1 disables)")
+	flag.Parse()
+
+	if *query == "" && *keywords == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: one of -query or -keywords is required")
+		os.Exit(2)
+	}
+	body, err := json.Marshal(request{
+		Doc: *doc, Query: *query, Keywords: *keywords, Profile: *profile,
+		K: *k, Parallelism: *par, NoCache: *noCache, TimeoutMS: *timeoutMS,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	url := "http://" + strings.TrimPrefix(*addr, "http://") + "/search"
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		digests = make(map[string]struct{})
+	)
+	shoot := func() {
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		lat := time.Since(start)
+		if err != nil {
+			mu.Lock()
+			samples = append(samples, sample{latency: lat, status: 0})
+			mu.Unlock()
+			return
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if d, ok := digest(payload); ok {
+				mu.Lock()
+				digests[d] = struct{}{}
+				mu.Unlock()
+			}
+		}
+		mu.Lock()
+		samples = append(samples, sample{latency: lat, status: resp.StatusCode})
+		mu.Unlock()
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	if *qps > 0 {
+		// Open loop: exponential inter-arrival gaps at rate -qps; each
+		// arrival gets its own goroutine so a slow server cannot slow the
+		// arrival process down (that's the point).
+		rng := rand.New(rand.NewSource(*seed))
+		deadline := begin.Add(*duration)
+		for now := time.Now(); now.Before(deadline); now = time.Now() {
+			gap := time.Duration(rng.ExpFloat64() / *qps * float64(time.Second))
+			time.Sleep(gap)
+			wg.Add(1)
+			go func() { defer wg.Done(); shoot() }()
+		}
+	} else {
+		// A closed channel, not time.After: every client must observe the
+		// stop signal (a timer channel delivers one value to one reader).
+		stop := make(chan struct{})
+		time.AfterFunc(*duration, func() { close(stop) })
+		for c := 0; c < *conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						shoot()
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	sum := build(samples, digests, elapsed)
+	if *qps > 0 {
+		sum.Mode, sum.TargetQPS = "open", *qps
+	} else {
+		sum.Mode, sum.Conc = "closed", *conc
+	}
+	// Errors: transport failures (status "0") and anything that is
+	// neither success nor an admission shed.
+	for st, n := range sum.Status {
+		switch st {
+		case "200", "429", "503":
+		default:
+			sum.Errors += n
+		}
+	}
+	out, _ := json.MarshalIndent(sum, "", "  ")
+	fmt.Println(string(out))
+
+	if *maxP99 > 0 && sum.P99MS > *maxP99 {
+		fmt.Fprintf(os.Stderr, "loadgen: p99 %.1fms exceeds bound %.1fms\n", sum.P99MS, *maxP99)
+		os.Exit(1)
+	}
+	if *maxErrors >= 0 && sum.Errors > *maxErrors {
+		fmt.Fprintf(os.Stderr, "loadgen: %d errors exceed bound %d\n", sum.Errors, *maxErrors)
+		os.Exit(1)
+	}
+}
+
+// digest canonicalizes a 200 response to its ranked results: the
+// "results" array re-marshaled alone, hashed. Volatile fields
+// (exec_us, trace, cache age) live outside "results" and are excluded
+// by construction.
+func digest(payload []byte) (string, bool) {
+	var resp struct {
+		Results json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return "", false
+	}
+	var results []any
+	if err := json.Unmarshal(resp.Results, &results); err != nil {
+		return "", false
+	}
+	canon, err := json.Marshal(results)
+	if err != nil {
+		return "", false
+	}
+	h := sha256.Sum256(canon)
+	return hex.EncodeToString(h[:8]), true
+}
+
+func build(samples []sample, digests map[string]struct{}, elapsed time.Duration) *summary {
+	lats := make([]time.Duration, 0, len(samples))
+	status := make(map[string]int)
+	shed := 0
+	for _, s := range samples {
+		status[fmt.Sprintf("%d", s.status)]++
+		switch s.status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			shed++
+		case http.StatusOK:
+			lats = append(lats, s.latency) // percentiles over successes only
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(p/100*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	var maxMS float64
+	if len(lats) > 0 {
+		maxMS = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+	}
+	ds := make([]string, 0, len(digests))
+	for d := range digests {
+		ds = append(ds, d)
+	}
+	sort.Strings(ds)
+	return &summary{
+		DurationS:   elapsed.Seconds(),
+		Requests:    len(samples),
+		AchievedQPS: float64(len(samples)) / elapsed.Seconds(),
+		P50MS:       pct(50),
+		P90MS:       pct(90),
+		P99MS:       pct(99),
+		MaxMS:       maxMS,
+		Status:      status,
+		Shed:        shed,
+		Digests:     ds,
+	}
+}

@@ -14,10 +14,14 @@
 // Per-request deadlines come from the request's timeout_ms field,
 // bounded by -timeout; repeated identical requests are answered from a
 // single-flight LRU result cache, and profile/query analysis verdicts
-// from a shared memoized analysis cache (-analysis-cache). -slow-query enables the slow-query
-// log; -debug-addr serves net/http/pprof on a separate listener for
-// profiling (see `make profile`). SIGINT/SIGTERM drain in-flight
-// requests before exit (graceful shutdown).
+// from a shared memoized analysis cache (-analysis-cache). Fresh
+// executions are admitted through a bounded worker pool (-pool,
+// -pool-queue, -pool-max-wait; DESIGN.md §14) that sheds overload with
+// 503/429 + Retry-After instead of oversubscribing the CPU; -pool -1
+// restores the legacy unscheduled behavior. -slow-query enables the
+// slow-query log; -debug-addr serves net/http/pprof on a separate
+// listener for profiling (see `make profile`). SIGINT/SIGTERM drain
+// in-flight requests before exit (graceful shutdown).
 package main
 
 import (
@@ -62,6 +66,10 @@ func main() {
 	access := flag.String("access", "auto", "default candidate access path: auto, scan, or twigjoin (requests override with their \"access\" field)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at least this slow, with plan and per-operator stats (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	pool := flag.Int("pool", 0, "admission scheduler worker count: concurrent search executions (0 = GOMAXPROCS; -1 disables the scheduler — legacy per-request GOMAXPROCS parallelism)")
+	poolQueue := flag.Int("pool-queue", 0, "admission waiting-room capacity; beyond it requests are shed with 503 (0 = 64×workers; negative = no waiting room)")
+	poolMaxWait := flag.Duration("pool-max-wait", 0, "shed requests queued longer than this with 429 (0 disables the bound)")
+	parMinNodes := flag.Int("par-min-nodes", 0, "document node count above which parallelism 0 (auto) is granted intra-query workers (0 = built-in default from BENCH_parallel.json)")
 	flag.Parse()
 
 	if len(docs) == 0 && *xmarkSize == "" {
@@ -82,6 +90,10 @@ func main() {
 		DefaultTimeout:     *timeout,
 		SlowQueryThreshold: *slowQuery,
 		DefaultAccess:      accessPath,
+		PoolWorkers:        *pool,
+		PoolQueue:          *poolQueue,
+		PoolMaxWait:        *poolMaxWait,
+		ParallelMinNodes:   *parMinNodes,
 	})
 	defer srv.Close()
 
@@ -155,8 +167,12 @@ func main() {
 		close(idle)
 	}()
 
-	log.Printf("pimentod listening on %s (%d documents, cache %d entries, default timeout %s)",
-		*addr, len(srv.Docs()), *cacheSize, *timeout)
+	poolDesc := "disabled (legacy per-request parallelism)"
+	if p := srv.Pool(); p != nil {
+		poolDesc = fmt.Sprintf("%d workers", p.Workers())
+	}
+	log.Printf("pimentod listening on %s (%d documents, cache %d entries, default timeout %s, pool %s)",
+		*addr, len(srv.Docs()), *cacheSize, *timeout, poolDesc)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("pimentod: %v", err)
 	}

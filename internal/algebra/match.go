@@ -222,6 +222,9 @@ func (m *Matcher) OptionalBonusUnits() []int {
 // returned slice aliases the matcher's scratch buffers and is only valid
 // until the next Bindings/EvalUnit/MatchRequired call.
 func (m *Matcher) Bindings(pn int, e xmldoc.NodeID) []xmldoc.NodeID {
+	if m.bufA == nil {
+		m.bufA, m.bufB = getNodeBuf(), getNodeBuf()
+	}
 	cur := append(m.bufA[:0], e)
 	next := m.bufB[:0]
 	for _, s := range m.paths[pn] {
@@ -238,6 +241,19 @@ func (m *Matcher) Bindings(pn int, e xmldoc.NodeID) []xmldoc.NodeID {
 	// Remember the (possibly grown) buffers for reuse.
 	m.bufA, m.bufB = cur[:len(cur)], next[:0]
 	return cur
+}
+
+// ReleaseScratch returns the matcher's navigation buffers to the shared
+// pool. The matcher stays usable — Bindings re-acquires lazily — but any
+// slice a previous Bindings call returned is invalidated, so release
+// only between candidates (in practice: when the owning chain finishes).
+func (m *Matcher) ReleaseScratch() {
+	if m.bufA == nil {
+		return
+	}
+	putNodeBuf(m.bufA)
+	putNodeBuf(m.bufB)
+	m.bufA, m.bufB = nil, nil
 }
 
 // appendUnique adds n to out unless present. Binding sets per candidate

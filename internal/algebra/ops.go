@@ -389,6 +389,9 @@ type SortOp struct {
 func (o *SortOp) Open() {
 	o.In.Open()
 	o.stats = OpStats{Name: "sort(" + o.Mode.String() + ")"}
+	if o.buf == nil {
+		o.buf = getAnswerBuf()
+	}
 	o.buf = o.buf[:0]
 	for {
 		a, ok := o.In.Next()
@@ -421,3 +424,15 @@ func (o *SortOp) Next() (Answer, bool) {
 }
 
 func (o *SortOp) Stats() OpStats { return o.stats }
+
+// ReleaseScratch returns the materialization buffer to the shared pool;
+// the next Open re-acquires. Answers already pulled by Next were copied
+// out by value, so nothing the consumer holds is invalidated.
+func (o *SortOp) ReleaseScratch() {
+	if o.buf == nil {
+		return
+	}
+	putAnswerBuf(o.buf)
+	o.buf = nil
+	o.pos = 0
+}

@@ -1,0 +1,72 @@
+// Arena-style scratch reuse for the serving hot path. Every query
+// builds at least one operator chain, and each chain owns three growable
+// buffers: the Matcher's two navigation scratch slices and the
+// materialization buffers of SortOp / TopKPruneOp. Under a worker-pool
+// scheduler the same handful of goroutines execute every request, so
+// pooling these buffers makes steady-state allocation per query drop to
+// (nearly) the answers themselves. Buffers are acquired lazily on first
+// use and returned explicitly via ReleaseScratch — a released operator
+// simply re-acquires on its next Open, so release is always safe, and
+// releasing twice is a no-op.
+package algebra
+
+import (
+	"sync"
+
+	"repro/internal/xmldoc"
+)
+
+// Pools hold *pointers* to slices so Put does not allocate a fresh
+// header box per cycle beyond the first.
+var (
+	nodeBufPool = sync.Pool{New: func() any {
+		b := make([]xmldoc.NodeID, 0, 64)
+		return &b
+	}}
+	answerBufPool = sync.Pool{New: func() any {
+		b := make([]Answer, 0, 64)
+		return &b
+	}}
+)
+
+func getNodeBuf() []xmldoc.NodeID {
+	return (*nodeBufPool.Get().(*[]xmldoc.NodeID))[:0]
+}
+
+func putNodeBuf(b []xmldoc.NodeID) {
+	b = b[:0]
+	nodeBufPool.Put(&b)
+}
+
+func getAnswerBuf() []Answer {
+	return (*answerBufPool.Get().(*[]Answer))[:0]
+}
+
+func putAnswerBuf(b []Answer) {
+	b = b[:0]
+	answerBufPool.Put(&b)
+}
+
+// ScratchReleaser is implemented by operators (and the Matcher) that
+// hold poolable scratch buffers.
+type ScratchReleaser interface{ ReleaseScratch() }
+
+// ReleaseChainScratch returns every pooled buffer held by the chain's
+// operators, unwrapping timing decorators. Call it when a chain is done
+// producing answers for the current execution; any answers already
+// copied out (TopKPruneOp.TopK copies) stay valid. A released chain can
+// be re-executed — operators re-acquire scratch on Open.
+func ReleaseChainScratch(ops []Operator) {
+	for _, op := range ops {
+		for {
+			u, ok := op.(interface{ Unwrap() Operator })
+			if !ok {
+				break
+			}
+			op = u.Unwrap()
+		}
+		if r, ok := op.(ScratchReleaser); ok {
+			r.ReleaseScratch()
+		}
+	}
+}

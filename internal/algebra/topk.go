@@ -53,6 +53,9 @@ type TopKPruneOp struct {
 
 func (o *TopKPruneOp) Open() {
 	o.In.Open()
+	if o.list == nil {
+		o.list = getAnswerBuf()
+	}
 	o.list = o.list[:0]
 	o.done = false
 	name := fmt.Sprintf("topkPrune(k=%d,%s", o.K, o.Mode)
@@ -103,6 +106,17 @@ func (o *TopKPruneOp) TopK() []Answer {
 	out := make([]Answer, len(o.list))
 	copy(out, o.list)
 	return out
+}
+
+// ReleaseScratch returns the top-k list to the shared pool; the next
+// Open re-acquires. Call only after TopK (which copies) — the operator's
+// own list is pool property afterwards.
+func (o *TopKPruneOp) ReleaseScratch() {
+	if o.list == nil {
+		return
+	}
+	putAnswerBuf(o.list)
+	o.list = nil
 }
 
 // consider decides an incoming answer's fate: false prunes it, true

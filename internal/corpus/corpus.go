@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
@@ -33,11 +34,25 @@ import (
 type Corpus struct {
 	pipe text.Pipeline
 
+	// budget, when set via SetBudget, gates the fan-out's helper
+	// goroutines. Nil falls back to a private per-call allowance of
+	// GOMAXPROCS-1 helpers (the library default).
+	budget plan.WorkerBudget
+
 	mu    sync.RWMutex
 	names []string
 	docs  map[string]*xmldoc.Document
 	idx   map[string]*index.Index
 }
+
+// SetBudget shares a goroutine budget with the fan-out: helper
+// goroutines beyond the caller's own spawn only while the budget grants
+// tokens. The serving layer passes the scheduler's budget here — the
+// same one plan execution draws from — so fan-out × per-query workers
+// can never multiply into GOMAXPROCS² goroutines (the old private
+// semaphore allowed exactly that). Call before serving traffic; the
+// budget is read without synchronization.
+func (c *Corpus) SetBudget(b plan.WorkerBudget) { c.budget = b }
 
 // New creates an empty corpus with the given text pipeline.
 func New(pipe text.Pipeline) *Corpus {
@@ -174,38 +189,70 @@ func (c *Corpus) SearchContext(ctx context.Context, q *tpq.Query, prof *profile.
 		hits   []docHit
 		errMu  sync.Mutex
 		runErr error
+		next   atomic.Int64
 	)
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
-	var wg sync.WaitGroup
-	for _, name := range names {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	// searchDoc evaluates one document. Per-document plans run strictly
+	// sequentially (Parallelism 1): the fan-out itself is the
+	// parallelism, and letting each per-doc plan auto-resolve to
+	// GOMAXPROCS workers used to multiply into GOMAXPROCS² goroutines.
+	searchDoc := func(name string) {
+		p, err := plan.BuildWith(idx[name], encoded, prof, k,
+			plan.Options{Strategy: strat, Parallelism: 1})
+		if err != nil {
+			errMu.Lock()
+			if runErr == nil {
+				runErr = fmt.Errorf("corpus: %s: %w", name, err)
+			}
+			errMu.Unlock()
+			return
+		}
+		defer p.Release()
+		answers, err := p.ExecuteContext(ctx)
+		if err != nil {
+			return // ctx.Err() is reported once below, not per document
+		}
+		hitMu.Lock()
+		for _, a := range answers {
+			hits = append(hits, docHit{doc: name, a: a})
+		}
+		hitMu.Unlock()
+	}
+	drain := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(names) {
+				return
+			}
 			if algebra.ContextErr(ctx) != nil {
 				return // fan-out aborted before this document's turn
 			}
-			p, err := plan.Build(idx[name], encoded, prof, k, strat)
-			if err != nil {
-				errMu.Lock()
-				if runErr == nil {
-					runErr = fmt.Errorf("corpus: %s: %w", name, err)
-				}
-				errMu.Unlock()
-				return
-			}
-			answers, err := p.ExecuteContext(ctx)
-			if err != nil {
-				return // ctx.Err() is reported once below, not per document
-			}
-			hitMu.Lock()
-			for _, a := range answers {
-				hits = append(hits, docHit{doc: name, a: a})
-			}
-			hitMu.Unlock()
-		}(name)
+			searchDoc(names[i])
+		}
 	}
+	// The caller's goroutine always works; helpers join only while the
+	// budget grants tokens. With no shared budget (library use), allow a
+	// private machine's worth per call — the legacy concurrency, minus
+	// the goroutine-per-document spawn.
+	budget := c.budget
+	maxHelpers := len(names) - 1
+	if budget == nil && maxHelpers > runtime.GOMAXPROCS(0)-1 {
+		maxHelpers = runtime.GOMAXPROCS(0) - 1
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < maxHelpers; h++ {
+		if budget != nil && !budget.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if budget != nil {
+				defer budget.Release()
+			}
+			drain()
+		}()
+	}
+	drain()
 	wg.Wait()
 	if err := algebra.ContextErr(ctx); err != nil {
 		return nil, err

@@ -96,11 +96,21 @@ type Request struct {
 	// plan.AccessTwigJoin (holistic structural join with dataguide
 	// pruning).
 	Access plan.AccessPath
-	// Parallelism partitions plan execution across workers: 0 uses
-	// GOMAXPROCS (scaled down on small candidate lists), 1 forces the
-	// sequential reference path, n >= 2 forces n workers. The ranked
-	// answers are identical at every setting.
+	// Parallelism partitions plan execution across workers: 0 resolves
+	// by document size (sequential below ParallelMinNodes, GOMAXPROCS
+	// above — plan.ResolveParallelism), 1 forces the sequential
+	// reference path, n >= 2 forces n workers (capped at
+	// plan.MaxParallelism). The ranked answers are identical at every
+	// setting.
 	Parallelism int
+	// ParallelMinNodes tunes auto-resolution: 0 means
+	// plan.DefaultParallelMinNodes, negative restores the legacy
+	// unconditional-GOMAXPROCS behavior (the load harness's baseline).
+	ParallelMinNodes int
+	// Budget, when non-nil, gates the extra goroutines of parallel plan
+	// execution (see plan.Options.Budget). The serving layer passes the
+	// scheduler's shared budget; library callers leave it nil.
+	Budget plan.WorkerBudget
 	// Thesaurus, when non-nil, expands required full-text predicates
 	// with optional synonym predicates at ThesaurusWeight (default 0.5).
 	Thesaurus       *text.Thesaurus
@@ -130,6 +140,11 @@ type Response struct {
 	Stats        []algebra.OpStats
 	TotalPruned  int
 	Workers      int // plan-execution workers (1 = sequential)
+	// Parallelism is the *resolved* parallelism (plan.ResolveParallelism
+	// applied to the request and the document) — what the request was
+	// granted, as opposed to what it asked for. Workers can be lower
+	// when the candidate list was too small to use the grant.
+	Parallelism int
 	// Access is the resolved access path (never AccessAuto) and TwigJoin
 	// the join's counters — nil on the scan path.
 	Access   plan.AccessPath
@@ -226,16 +241,22 @@ func (e *Engine) SearchContext(ctx context.Context, req Request) (*Response, err
 
 	endBuild := tr.Start("build")
 	p, err := plan.BuildWith(e.ix, q, req.Profile, k, plan.Options{
-		Strategy:    strat,
-		TwigAccess:  req.TwigAccess,
-		AccessPath:  req.Access,
-		Parallelism: req.Parallelism,
-		Timing:      req.Timing,
+		Strategy:         strat,
+		TwigAccess:       req.TwigAccess,
+		AccessPath:       req.Access,
+		Parallelism:      req.Parallelism,
+		ParallelMinNodes: req.ParallelMinNodes,
+		Budget:           req.Budget,
+		Timing:           req.Timing,
 	})
 	endBuild()
 	if err != nil {
 		return nil, err
 	}
+	// Hand the chain's pooled scratch back once the response is
+	// materialized: under the worker-pool scheduler the next request on
+	// this worker reuses the same buffers instead of reallocating.
+	defer p.Release()
 	endExecute := tr.Start("execute")
 	answers, err := p.ExecuteContext(ctx)
 	endExecute()
@@ -251,6 +272,7 @@ func (e *Engine) SearchContext(ctx context.Context, req Request) (*Response, err
 		Stats:        p.Stats(),
 		TotalPruned:  p.TotalPruned(),
 		Workers:      p.Workers(),
+		Parallelism:  p.Parallelism(),
 		Access:       p.Access(),
 		TwigJoin:     p.JoinStats(),
 	}
@@ -275,10 +297,16 @@ func (e *Engine) literalFlockSearch(ctx context.Context, req Request, k int, str
 	}
 	best := map[xmldoc.NodeID]scored{}
 	for pos, fq := range flock {
-		p, err := plan.Build(e.ix, fq, req.Profile, k, strat)
+		p, err := plan.BuildWith(e.ix, fq, req.Profile, k, plan.Options{
+			Strategy:         strat,
+			Parallelism:      req.Parallelism,
+			ParallelMinNodes: req.ParallelMinNodes,
+			Budget:           req.Budget,
+		})
 		if err != nil {
 			return nil, err
 		}
+		defer p.Release()
 		answers, err := p.ExecuteContext(ctx)
 		if err != nil {
 			return nil, err
@@ -306,9 +334,19 @@ func (e *Engine) literalFlockSearch(ctx context.Context, req Request, k int, str
 		EncodedQuery: flock[len(flock)-1],
 		AppliedSRs:   applied,
 		PlanShape:    fmt.Sprintf("literal flock of %d queries", len(flock)),
+		Parallelism:  e.ResolvedParallelism(&req),
 		Elapsed:      time.Since(start),
 		Results:      e.materialize(merged),
 	}, nil
+}
+
+// ResolvedParallelism reports the worker count the request resolves to
+// against this engine's document — plan.ResolveParallelism on the
+// request's Parallelism/ParallelMinNodes and the document size. The
+// serving layer folds this into its cache key (a cached response's
+// Workers/Stats metadata depends on it) and surfaces it to clients.
+func (e *Engine) ResolvedParallelism(req *Request) int {
+	return plan.ResolveParallelism(req.Parallelism, e.doc.Len(), req.ParallelMinNodes)
 }
 
 func sortAnswers(as []algebra.Answer, r *algebra.Ranker, mode algebra.Mode) {

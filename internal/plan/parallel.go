@@ -23,9 +23,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
-	"repro/internal/xmldoc"
 )
 
 // minPartition is the smallest candidate partition worth a dedicated
@@ -33,19 +33,86 @@ import (
 // cost more than scanning the partition sequentially.
 const minPartition = 256
 
-// effectiveWorkers resolves Options.Parallelism against the candidate
-// count: 1 (or a single-CPU GOMAXPROCS) keeps the sequential reference
-// path; 0 takes GOMAXPROCS workers scaled down so each gets at least
-// minPartition candidates; an explicit n >= 2 is honored (clamped to
-// one candidate per worker) so tests can force parallelism on small
-// inputs.
-func (p *Plan) effectiveWorkers() int {
-	n := p.opts.Parallelism
-	if n == 1 {
+// MaxParallelism bounds the Parallelism option. Anything above it is a
+// request error at the API boundary (the serving layer rejects it; see
+// the contract in server.SearchRequest), never a silent clamp — the old
+// behavior of accepting up to 1024 and quietly capping at the candidate
+// count hid what actually ran.
+const MaxParallelism = 64
+
+// DefaultParallelMinNodes is the document size (node count) above which
+// auto-resolution (Parallelism <= 0) grants intra-query workers. The
+// threshold is read off BENCH_parallel.json: par=8 *loses* to par=1 at
+// every XMark size up to 1 MB (57,558 nodes — 528µs vs 242µs at 101KB /
+// 5,788 nodes) and first wins at 5.7 MB (324,990 nodes, 11.8ms vs
+// 12.9ms). 150,000 sits between the largest losing size and the
+// smallest winning one.
+const DefaultParallelMinNodes = 150_000
+
+// WorkerBudget is a non-blocking allowance for *extra* goroutines
+// beyond the one the caller already owns (implemented by sched.Budget).
+// A nil budget means "unbudgeted": spawn freely, the pre-scheduler
+// library behavior. Execution never blocks on the budget and results
+// are identical whether a token is granted or not — a denied token just
+// runs that partition in the caller's goroutine.
+type WorkerBudget interface {
+	TryAcquire() bool
+	Release()
+}
+
+// ResolveParallelism is the cost model behind the Parallelism knob,
+// mirroring resolveAccess: it maps the requested setting and the
+// document's node count to the worker count the plan will report.
+//
+//	requested == 1  -> 1 (explicit sequential)
+//	requested >= 2  -> requested, capped at MaxParallelism (explicit
+//	                   parallel; tests force workers on small inputs)
+//	requested <= 0  -> auto: GOMAXPROCS when docNodes >= minNodes,
+//	                   else 1 — small documents lose under intra-query
+//	                   parallelism (BENCH_parallel.json), and under
+//	                   concurrent load extra workers are pure
+//	                   oversubscription.
+//
+// minNodes == 0 means DefaultParallelMinNodes; minNodes < 0 disables
+// the threshold entirely (auto -> GOMAXPROCS unconditionally), which is
+// the legacy behavior the load harness uses as its naive baseline.
+// The result is deterministic for a given document, so it is safe to
+// key result caches on (the serving layer does).
+func ResolveParallelism(requested, docNodes, minNodes int) int {
+	if requested == 1 {
 		return 1
 	}
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+	if requested >= 2 {
+		if requested > MaxParallelism {
+			return MaxParallelism
+		}
+		return requested
+	}
+	if minNodes == 0 {
+		minNodes = DefaultParallelMinNodes
+	}
+	if minNodes > 0 && docNodes < minNodes {
+		return 1
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > MaxParallelism {
+		n = MaxParallelism
+	}
+	return n
+}
+
+// effectiveWorkers scales the resolved parallelism down against the
+// actual candidate count at Execute time: auto-resolved workers are
+// dropped to one per minPartition candidates (worker setup costs more
+// than scanning a short partition), and every worker needs at least one
+// candidate. Explicit parallelism skips the load scale-down so tests
+// can force workers on small inputs.
+func (p *Plan) effectiveWorkers() int {
+	n := p.par
+	if n <= 1 {
+		return 1
+	}
+	if p.parAuto {
 		if byLoad := len(p.sourceIDs) / minPartition; byLoad < n {
 			n = byLoad
 		}
@@ -59,11 +126,17 @@ func (p *Plan) effectiveWorkers() int {
 	return n
 }
 
-// executeParallel runs the plan as w scan-partitioned workers and
-// k-merges their results deterministically. Each worker carries its own
-// cancellation probe bound to ctx, so a deadline or client disconnect
-// aborts every partition cooperatively instead of burning w workers on
-// a result nobody is waiting for.
+// executeParallel runs the plan as w scan-partitioned partitions and
+// k-merges their results deterministically. The partition *count* is
+// fixed at w — that is what makes the result and the reported Workers()
+// deterministic — but the *goroutine* count is not: the caller's
+// goroutine drains partitions off an atomic work queue, and up to w-1
+// helper goroutines join only while Options.Budget grants tokens. Under
+// a saturated scheduler the helpers simply don't materialize and the
+// caller runs every partition itself; with a nil budget (library use)
+// all w-1 helpers spawn, the original behavior. Each partition chain
+// carries its own cancellation probe bound to ctx, so a deadline or
+// client disconnect aborts every partition cooperatively.
 func (p *Plan) executeParallel(ctx context.Context, w int) ([]algebra.Answer, error) {
 	ids := p.sourceIDs
 	shared := algebra.NewSharedBound()
@@ -72,28 +145,52 @@ func (p *Plan) executeParallel(ctx context.Context, w int) ([]algebra.Answer, er
 		stats []algebra.OpStats
 	}
 	outs := make([]workerOut, w)
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
+	var next atomic.Int64
+	runPartition := func(i int) {
 		lo, hi := i*len(ids)/w, (i+1)*len(ids)/w
-		wg.Add(1)
-		go func(i int, part []xmldoc.NodeID) {
-			defer wg.Done()
-			src := &algebra.ListScanOp{Name: p.sourceName, IDs: part}
-			ops, final := p.buildChain(src, shared, algebra.NewCancelCheck(ctx))
-			root := ops[len(ops)-1]
-			root.Open()
-			for {
-				if _, ok := root.Next(); !ok {
-					break
-				}
+		src := &algebra.ListScanOp{Name: p.sourceName, IDs: ids[lo:hi]}
+		ops, final, m := p.buildChain(src, shared, algebra.NewCancelCheck(ctx))
+		root := ops[len(ops)-1]
+		root.Open()
+		for {
+			if _, ok := root.Next(); !ok {
+				break
 			}
-			stats := make([]algebra.OpStats, len(ops))
-			for j, op := range ops {
-				stats[j] = op.Stats()
-			}
-			outs[i] = workerOut{top: final.TopK(), stats: stats}
-		}(i, ids[lo:hi])
+		}
+		stats := make([]algebra.OpStats, len(ops))
+		for j, op := range ops {
+			stats[j] = op.Stats()
+		}
+		outs[i] = workerOut{top: final.TopK(), stats: stats}
+		// The chain is dead and TopK copied out: hand the scratch back so
+		// the next partition (or the next request) skips the allocations.
+		algebra.ReleaseChainScratch(ops)
+		m.ReleaseScratch()
 	}
+	drain := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= w {
+				return
+			}
+			runPartition(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < w-1; h++ {
+		if p.opts.Budget != nil && !p.opts.Budget.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if p.opts.Budget != nil {
+				defer p.opts.Budget.Release()
+			}
+			drain()
+		}()
+	}
+	drain()
 	wg.Wait()
 	p.lastWorkers = w
 	if err := algebra.ContextErr(ctx); err != nil {

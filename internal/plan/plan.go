@@ -77,6 +77,9 @@ type Plan struct {
 	opts   Options
 	ranker *algebra.Ranker
 
+	par        int  // resolved parallelism (ResolveParallelism)
+	parAuto    bool // par came from auto-resolution (load scale-down applies)
+	m          *algebra.Matcher
 	access     AccessPath      // resolved access path (never AccessAuto)
 	eval       *twig.Evaluator // twigjoin access path; nil for scan
 	listSrc    *algebra.ListScanOp
@@ -117,12 +120,25 @@ type Options struct {
 	// AccessTwigJoin when AccessPath is AccessAuto.
 	TwigAccess bool
 	// Parallelism partitions the access path's candidate list across
-	// workers at Execute time: 0 uses GOMAXPROCS (scaled down when the
-	// candidate list is too small to amortize worker setup), 1 forces
-	// the sequential reference path, n >= 2 forces exactly n workers
-	// (clamped to the candidate count). Results are identical at every
+	// workers at Execute time: 0 resolves by document size (sequential
+	// below ParallelMinNodes, GOMAXPROCS above — see
+	// ResolveParallelism), 1 forces the sequential reference path,
+	// n >= 2 forces exactly n workers (capped at MaxParallelism,
+	// clamped to the candidate count). Results are identical at every
 	// setting; see DESIGN.md "Parallel execution".
 	Parallelism int
+	// ParallelMinNodes is the document node count above which
+	// Parallelism 0 grants workers: 0 means DefaultParallelMinNodes,
+	// negative disables the threshold (auto -> GOMAXPROCS always, the
+	// pre-scheduler behavior kept as the load harness's baseline).
+	ParallelMinNodes int
+	// Budget, when non-nil, gates the *extra* goroutines of a parallel
+	// Execute (the caller's own goroutine always works): each helper
+	// spawns only if Budget.TryAcquire allows. The serving layer passes
+	// one shared budget to every plan and the corpus fan-out, bounding
+	// total execution goroutines machine-wide. Results do not depend on
+	// how many tokens are granted.
+	Budget WorkerBudget
 	// Context, when non-nil, is the default execution context: Execute
 	// aborts cooperatively once it is cancelled or past its deadline.
 	// ExecuteContext overrides it per call.
@@ -161,6 +177,8 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 	}
 	p.distTag = q.Nodes[q.Dist].Tag
 	p.access = opts.resolveAccess(ix, q)
+	p.par = ResolveParallelism(opts.Parallelism, ix.Document().Len(), opts.ParallelMinNodes)
+	p.parAuto = opts.Parallelism <= 0
 	var src algebra.Operator
 	if p.access == AccessTwigJoin {
 		// The join itself runs lazily at Execute time (ensureSource), so
@@ -183,7 +201,7 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 	// query and profile can probe, so per-candidate evaluation — and the
 	// per-worker rebuilds of a parallel Execute — hit read-only snapshots.
 	p.cancel = algebra.NewCancelCheck(nil)
-	p.ops, p.final = p.buildChain(src, nil, p.cancel)
+	p.ops, p.final, p.m = p.buildChain(src, nil, p.cancel)
 	p.root = p.ops[len(p.ops)-1]
 	return p, nil
 }
@@ -195,7 +213,7 @@ func BuildWith(ix *index.Index, q *tpq.Query, prof *profile.Profile, k int, opts
 // thresholds through it. cancel is the chain's cancellation probe,
 // threaded into the scan, match and prune loops (the places a
 // cooperative abort must interrupt; see DESIGN.md §10).
-func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound, cancel *algebra.CancelCheck) ([]algebra.Operator, *algebra.TopKPruneOp) {
+func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound, cancel *algebra.CancelCheck) ([]algebra.Operator, *algebra.TopKPruneOp, *algebra.Matcher) {
 	ix, q, prof, k := p.ix, p.q, p.prof, p.K
 	strat, mode, ranker := p.Strategy, p.Mode, p.ranker
 	m := algebra.NewMatcher(ix, q)
@@ -315,7 +333,7 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound, can
 	}
 	push(final)
 
-	return ops, final
+	return ops, final, m
 }
 
 // Execute runs the plan to completion and returns the top-k answers,
@@ -387,6 +405,23 @@ func (p *Plan) ensureSource(ctx context.Context) error {
 // Workers reports how many workers the most recent Execute used
 // (0 before the first Execute).
 func (p *Plan) Workers() int { return p.lastWorkers }
+
+// Parallelism reports the plan's resolved parallelism — the worker
+// count ResolveParallelism chose from the request and the document
+// size, before the Execute-time candidate-count scale-down. This is
+// the value the serving layer surfaces to clients and keys its result
+// cache on.
+func (p *Plan) Parallelism() int { return p.par }
+
+// Release hands the sequential chain's pooled scratch buffers back
+// (parallel partitions release their own as they finish). The plan
+// stays executable — operators re-acquire on the next Open — but call
+// it only after copying out whatever answers you need. Safe to call
+// repeatedly.
+func (p *Plan) Release() {
+	algebra.ReleaseChainScratch(p.ops)
+	p.m.ReleaseScratch()
+}
 
 // Access reports the resolved access path (never AccessAuto).
 func (p *Plan) Access() AccessPath { return p.access }

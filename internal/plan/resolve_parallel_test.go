@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/text"
+	"repro/internal/tpq"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+)
+
+// TestResolveParallelism pins the cost model: explicit settings are
+// honored (capped), auto goes sequential below the node threshold and
+// wide above it, and the legacy mode (minNodes < 0) is unconditional.
+func TestResolveParallelism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, tc := range []struct {
+		requested, docNodes, minNodes, want int
+	}{
+		{1, 1 << 20, 0, 1},                       // explicit sequential, huge doc
+		{2, 100, 0, 2},                           // explicit parallel, tiny doc
+		{8, 100, 0, 8},                           // explicit honored as-is
+		{MaxParallelism, 100, 0, MaxParallelism}, // at the cap
+		{100, 100, 0, MaxParallelism},            // above the cap: capped
+		{1024, 100, 0, MaxParallelism},           // old server ceiling: capped
+		{0, DefaultParallelMinNodes - 1, 0, 1},   // auto, below default threshold
+		{0, DefaultParallelMinNodes, 0, 4},       // auto, at threshold -> GOMAXPROCS
+		{0, 1 << 22, 0, 4},                       // auto, far above
+		{0, 100, 50, 4},                          // custom threshold crossed
+		{0, 100, 101, 1},                         // custom threshold not crossed
+		{0, 10, -1, 4},                           // legacy: unconditional GOMAXPROCS
+		{-1, 10, 0, 1},                           // negative request behaves like 0
+		{0, DefaultParallelMinNodes - 1, -1, 4},  // legacy ignores doc size
+	} {
+		got := ResolveParallelism(tc.requested, tc.docNodes, tc.minNodes)
+		if got != tc.want {
+			t.Errorf("ResolveParallelism(%d, %d, %d) = %d, want %d",
+				tc.requested, tc.docNodes, tc.minNodes, got, tc.want)
+		}
+	}
+}
+
+// TestResolveParallelismGOMAXPROCSCap: with GOMAXPROCS above the cap,
+// auto resolution must not exceed MaxParallelism.
+func TestResolveParallelismGOMAXPROCSCap(t *testing.T) {
+	prev := runtime.GOMAXPROCS(MaxParallelism + 8)
+	defer runtime.GOMAXPROCS(prev)
+	if got := ResolveParallelism(0, 1<<22, 0); got != MaxParallelism {
+		t.Errorf("auto at GOMAXPROCS=%d resolved to %d, want %d",
+			MaxParallelism+8, got, MaxParallelism)
+	}
+}
+
+// TestPlanParallelismAccessor: the plan reports its resolved
+// parallelism — the value cache keys and responses surface.
+func TestPlanParallelismAccessor(t *testing.T) {
+	doc := xmark.GenerateSized(xmark.Config{Seed: 42}, 100*1024)
+	ix := index.Build(doc, text.Pipeline{})
+	q := workload.Fig5Query()
+	for _, tc := range []struct {
+		par, minNodes, want int
+	}{
+		{0, 0, 1},    // ~6K nodes, below default threshold
+		{0, 1000, 0}, // tiny custom threshold: GOMAXPROCS (filled below)
+		{3, 0, 3},    // explicit
+	} {
+		want := tc.want
+		if want == 0 {
+			want = ResolveParallelism(0, ix.Document().Len(), tc.minNodes)
+		}
+		p, err := BuildWith(ix, q, nil, 5,
+			Options{Parallelism: tc.par, ParallelMinNodes: tc.minNodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Parallelism(); got != want {
+			t.Errorf("par=%d minNodes=%d: Parallelism() = %d, want %d",
+				tc.par, tc.minNodes, got, want)
+		}
+	}
+}
+
+// countingBudget grants at most cap tokens and records the peak held.
+type countingBudget struct {
+	held atomic.Int64
+	peak atomic.Int64
+	cap  int64
+}
+
+func (b *countingBudget) TryAcquire() bool {
+	if h := b.held.Add(1); h <= b.cap {
+		for {
+			old := b.peak.Load()
+			if h <= old || b.peak.CompareAndSwap(old, h) {
+				break
+			}
+		}
+		return true
+	}
+	b.held.Add(-1)
+	return false
+}
+
+func (b *countingBudget) Release() { b.held.Add(-1) }
+
+// TestParallelBudget: a budget caps helper goroutines but never changes
+// the answer — even a zero budget (caller drains every partition) must
+// report the full worker count and match the sequential reference.
+func TestParallelBudget(t *testing.T) {
+	doc := xmark.GenerateSized(xmark.Config{Seed: 42}, 300*1024)
+	ix := index.Build(doc, text.Pipeline{})
+	q := workload.Fig5Query()
+	prof := workload.Fig5Profile(2)
+	seq, err := BuildWith(ix, q, prof, 10, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Execute()
+	for _, tokens := range []int64{0, 1, 16} {
+		b := &countingBudget{cap: tokens}
+		p, err := BuildWith(ix, q, prof, 10, Options{Parallelism: 4, Budget: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Execute()
+		if p.Workers() != 4 {
+			t.Errorf("tokens=%d: Workers() = %d, want 4 (partition count is budget-independent)",
+				tokens, p.Workers())
+		}
+		assertSameRanking(t, want, got, fmt.Sprintf("budget tokens=%d", tokens))
+		if b.held.Load() != 0 {
+			t.Errorf("tokens=%d: %d tokens leaked", tokens, b.held.Load())
+		}
+		maxHelpers := tokens
+		if maxHelpers > 3 {
+			maxHelpers = 3 // at most w-1 helpers for w=4
+		}
+		if peak := b.peak.Load(); peak > maxHelpers {
+			t.Errorf("tokens=%d: peak helpers %d, want <= %d", tokens, peak, maxHelpers)
+		}
+	}
+}
+
+// TestAutoSequentialOnSmallDocs guards the auto default against regression:
+// on a small document the resolved parallelism must be 1 even though
+// GOMAXPROCS is larger — the original oversubscription bug resolved
+// Parallelism 0 to GOMAXPROCS on every document.
+func TestAutoSequentialOnSmallDocs(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	doc := xmark.GenerateSized(xmark.Config{Seed: 7}, 101*1024)
+	ix := index.Build(doc, text.Pipeline{})
+	q := tpq.MustParse(`//item[./description[. ftcontains "gold"]]`)
+	p, err := BuildWith(ix, q, nil, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Parallelism(); got != 1 {
+		t.Fatalf("auto parallelism on a %d-node doc = %d, want 1", ix.Document().Len(), got)
+	}
+	p.Execute()
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("Workers() = %d, want 1", got)
+	}
+}

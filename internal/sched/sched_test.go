@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAcquireReleaseBasics: a pool of n admits exactly n without
+// queueing, and a released slot is immediately reusable.
+func TestAcquireReleaseBasics(t *testing.T) {
+	p := New(Config{Workers: 2, Queue: -1})
+	if p.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", p.Workers())
+	}
+	r1, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue is disabled: the third acquire sheds instead of blocking.
+	if _, err := p.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Acquire err = %v, want ErrQueueFull", err)
+	}
+	r1()
+	r1() // double release must be a no-op, not a slot leak
+	r3, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r3()
+	r2()
+	st := p.Stats()
+	if st.Running != 0 {
+		t.Errorf("Running = %d, want 0", st.Running)
+	}
+	if st.Admitted != 3 || st.ShedQueueFull != 1 {
+		t.Errorf("Admitted=%d ShedQueueFull=%d, want 3 and 1", st.Admitted, st.ShedQueueFull)
+	}
+}
+
+// TestQueueAdmission: with a waiting room, a blocked Acquire is admitted
+// when a slot frees, and the wait is observed.
+func TestQueueAdmission(t *testing.T) {
+	var waits atomic.Int64
+	p := New(Config{Workers: 1, Queue: 4, ObserveWait: func(time.Duration) { waits.Add(1) }})
+	r1, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r2, err := p.Acquire(context.Background())
+		if err == nil {
+			r2()
+		}
+		done <- err
+	}()
+	// Let the second acquire reach the waiting room, then free the slot.
+	deadline := time.After(2 * time.Second)
+	for p.Stats().Queued == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second Acquire never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r1()
+	if err := <-done; err != nil {
+		t.Fatalf("queued Acquire err = %v", err)
+	}
+	st := p.Stats()
+	if st.AdmittedQueued != 1 {
+		t.Errorf("AdmittedQueued = %d, want 1", st.AdmittedQueued)
+	}
+	if waits.Load() != 1 {
+		t.Errorf("ObserveWait calls = %d, want 1", waits.Load())
+	}
+}
+
+// TestSheddingTable covers the three ways a queued request leaves
+// without a slot: queue full, wait bound exceeded, context cancelled,
+// and context already expired.
+func TestSheddingTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		cfg     Config
+		ctx     func() (context.Context, context.CancelFunc)
+		wantErr error
+		check   func(Stats) bool
+	}{
+		{
+			name:    "queue_full",
+			cfg:     Config{Workers: 1, Queue: -1},
+			ctx:     func() (context.Context, context.CancelFunc) { return context.WithCancel(context.Background()) },
+			wantErr: ErrQueueFull,
+			check:   func(s Stats) bool { return s.ShedQueueFull == 1 },
+		},
+		{
+			name:    "wait_bound",
+			cfg:     Config{Workers: 1, Queue: 4, MaxWait: 5 * time.Millisecond},
+			ctx:     func() (context.Context, context.CancelFunc) { return context.WithCancel(context.Background()) },
+			wantErr: ErrQueueWait,
+			check:   func(s Stats) bool { return s.ShedWait == 1 },
+		},
+		{
+			name: "cancelled_while_queued",
+			cfg:  Config{Workers: 1, Queue: 4},
+			ctx: func() (context.Context, context.CancelFunc) {
+				ctx, cancel := context.WithCancel(context.Background())
+				go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+				return ctx, cancel
+			},
+			wantErr: context.Canceled,
+			check:   func(s Stats) bool { return s.Abandoned == 1 },
+		},
+		{
+			name: "deadline_while_queued",
+			cfg:  Config{Workers: 1, Queue: 4},
+			ctx: func() (context.Context, context.CancelFunc) {
+				return context.WithTimeout(context.Background(), 5*time.Millisecond)
+			},
+			wantErr: context.DeadlineExceeded,
+			check:   func(s Stats) bool { return s.Abandoned == 1 },
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(tc.cfg)
+			hold, err := p.Acquire(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hold()
+			ctx, cancel := tc.ctx()
+			defer cancel()
+			rel, err := p.Acquire(ctx)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if rel != nil {
+				t.Fatal("failed Acquire returned a release func")
+			}
+			if st := p.Stats(); !tc.check(st) {
+				t.Errorf("stats after shed: %+v", st)
+			}
+			if got := p.Stats().Queued; got != 0 {
+				t.Errorf("Queued = %d after shed, want 0", got)
+			}
+		})
+	}
+}
+
+// TestRetryAfterBounds: with no history the estimate is the 1s floor;
+// after long holds it is clamped to 60s.
+func TestRetryAfterBounds(t *testing.T) {
+	p := New(Config{Workers: 1})
+	if got := p.RetryAfter(); got != 1 {
+		t.Errorf("cold RetryAfter = %d, want 1", got)
+	}
+	// Fold in an absurdly long hold; the estimate must clamp at 60.
+	p.recordHold(10 * time.Hour)
+	if got := p.RetryAfter(); got != 60 {
+		t.Errorf("clamped RetryAfter = %d, want 60", got)
+	}
+	p2 := New(Config{Workers: 4})
+	p2.recordHold(2 * time.Millisecond)
+	if got := p2.RetryAfter(); got != 1 {
+		t.Errorf("fast-drain RetryAfter = %d, want 1", got)
+	}
+}
+
+// TestBudget: tokens are finite, non-blocking, and restored on release.
+func TestBudget(t *testing.T) {
+	b := NewBudget(2)
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("fresh budget of 2 refused a token")
+	}
+	if b.TryAcquire() {
+		t.Fatal("exhausted budget granted a token")
+	}
+	if b.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", b.InUse())
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("released token not reusable")
+	}
+	b.Release()
+	b.Release()
+	if b.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", b.InUse())
+	}
+	// Zero and negative budgets never grant.
+	for _, n := range []int{0, -3} {
+		if NewBudget(n).TryAcquire() {
+			t.Errorf("NewBudget(%d) granted a token", n)
+		}
+	}
+}
+
+// TestPoolStress hammers a small pool from many goroutines under -race:
+// no slot may leak, counters must balance, and concurrency inside the
+// pool must never exceed Workers.
+func TestPoolStress(t *testing.T) {
+	p := New(Config{Workers: 3, Queue: 8, MaxWait: 50 * time.Millisecond})
+	var (
+		wg      sync.WaitGroup
+		peak    atomic.Int64
+		inPool  atomic.Int64
+		success atomic.Int64
+		shed    atomic.Int64
+	)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rel, err := p.Acquire(context.Background())
+				if err != nil {
+					shed.Add(1)
+					continue
+				}
+				cur := inPool.Add(1)
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				if b := p.Budget(); b.TryAcquire() {
+					b.Release()
+				}
+				time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+				inPool.Add(-1)
+				rel()
+				success.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Errorf("peak in-pool concurrency = %d, want <= 3", got)
+	}
+	st := p.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("pool not drained: %+v", st)
+	}
+	if st.Admitted+st.AdmittedQueued != success.Load() {
+		t.Errorf("admissions %d+%d != successes %d", st.Admitted, st.AdmittedQueued, success.Load())
+	}
+	if st.ShedQueueFull+st.ShedWait != shed.Load() {
+		t.Errorf("sheds %d+%d != failures %d", st.ShedQueueFull, st.ShedWait, shed.Load())
+	}
+	if st.BudgetInUse != 0 {
+		t.Errorf("BudgetInUse = %d, want 0", st.BudgetInUse)
+	}
+	// Every slot must be back: Workers() immediate acquires succeed.
+	for i := 0; i < p.Workers(); i++ {
+		rel, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("slot %d leaked: %v", i, err)
+		}
+		defer rel()
+	}
+}
+
+// TestDefaults pins the Config zero-value resolution.
+func TestDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.Workers() < 1 {
+		t.Errorf("default Workers = %d, want >= 1 (GOMAXPROCS)", p.Workers())
+	}
+	if p.queueCap != 64*p.Workers() {
+		t.Errorf("default queue = %d, want %d", p.queueCap, 64*p.Workers())
+	}
+}

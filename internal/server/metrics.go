@@ -16,6 +16,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 )
 
 // opKinds is the static operator-kind label set: every algebra operator
@@ -39,8 +40,14 @@ var stageNames = []string{"analyze", "rewrite", "build", "execute", "rank"}
 var endpointNames = []string{"search", "explain", "lint", "healthz", "statsz", "metrics"}
 
 // errorClasses is the error-classification label set (see
-// classifySearchError and writeError).
-var errorClasses = []string{"4xx", "5xx", "timeout", "canceled"}
+// classifySearchError and writeError). "overloaded" is a scheduler
+// queue-full shed (503), "throttled" a queue-wait-bound shed (429).
+var errorClasses = []string{"4xx", "5xx", "timeout", "canceled", "overloaded", "throttled"}
+
+// admissionOutcomes labels pimento_sched_admissions_total: how each
+// request left the scheduler's admission step. "admitted" ran without
+// queueing, "queued" waited first; the rest never got a slot.
+var admissionOutcomes = []string{"admitted", "queued", "shed_queue_full", "shed_wait", "abandoned"}
 
 // cacheOutcomes mirrors server.Outcome.String values.
 var cacheOutcomes = []string{"hit", "miss", "coalesced"}
@@ -84,6 +91,17 @@ type serverMetrics struct {
 
 	slowTotal   *metrics.Counter
 	slowDropped *metrics.Counter
+
+	// Scheduler series. Admission counters and capacity/occupancy gauges
+	// are mirrored from sched.Pool.Stats at scrape time; the queue-wait
+	// histogram is fed live through the pool's ObserveWait hook.
+	schedAdmissions map[string]*metrics.Counter // by admission outcome
+	schedWorkers    *metrics.Gauge
+	schedRunning    *metrics.Gauge
+	schedQueueDepth *metrics.Gauge
+	schedQueueCap   *metrics.Gauge
+	schedBudgetUse  *metrics.Gauge
+	schedQueueWait  *metrics.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -109,7 +127,7 @@ func newServerMetrics() *serverMetrics {
 		"Requests currently being served.", nil)
 	for _, c := range errorClasses {
 		m.errors[c] = reg.Counter("pimento_http_errors_total",
-			"Request errors, by class (4xx, 5xx, timeout, canceled; a timeout also counts as 5xx and a client cancel as 4xx).",
+			"Request errors, by class (4xx, 5xx, timeout, canceled, overloaded, throttled; a timeout or overload shed also counts as 5xx, a client cancel or throttle as 4xx).",
 			metrics.Labels{"class": c})
 	}
 	m.cacheRequests = make(map[string]*metrics.Counter, len(cacheOutcomes))
@@ -172,6 +190,25 @@ func newServerMetrics() *serverMetrics {
 		"Searches slower than the configured slow-query threshold.", nil)
 	m.slowDropped = reg.Counter("pimento_slow_queries_dropped_total",
 		"Slow-query log entries dropped because the logger could not keep up.", nil)
+	m.schedAdmissions = make(map[string]*metrics.Counter, len(admissionOutcomes))
+	for _, o := range admissionOutcomes {
+		m.schedAdmissions[o] = reg.Counter("pimento_sched_admissions_total",
+			"Scheduler admission decisions, by outcome (admitted, queued, shed_queue_full, shed_wait, abandoned).",
+			metrics.Labels{"outcome": o})
+	}
+	m.schedWorkers = reg.Gauge("pimento_sched_workers",
+		"Scheduler worker-pool size (concurrent executions allowed).", nil)
+	m.schedRunning = reg.Gauge("pimento_sched_running",
+		"Executions currently holding a scheduler slot.", nil)
+	m.schedQueueDepth = reg.Gauge("pimento_sched_queue_depth",
+		"Requests waiting for a scheduler slot.", nil)
+	m.schedQueueCap = reg.Gauge("pimento_sched_queue_capacity",
+		"Scheduler waiting-room capacity.", nil)
+	m.schedBudgetUse = reg.Gauge("pimento_sched_budget_in_use",
+		"Extra execution goroutines (plan partitions, fan-out helpers) currently drawn from the shared budget.", nil)
+	m.schedQueueWait = reg.Histogram("pimento_sched_queue_wait_seconds",
+		"Time admitted requests spent queued for a scheduler slot.",
+		metrics.DefBuckets, nil)
 	return m
 }
 
@@ -197,6 +234,12 @@ func (m *serverMetrics) recordError(status int) {
 	case status == http.StatusGatewayTimeout:
 		m.errors["timeout"].Inc()
 		m.errors["5xx"].Inc()
+	case status == http.StatusServiceUnavailable:
+		m.errors["overloaded"].Inc()
+		m.errors["5xx"].Inc()
+	case status == http.StatusTooManyRequests:
+		m.errors["throttled"].Inc()
+		m.errors["4xx"].Inc()
 	case status == 499:
 		m.errors["canceled"].Inc()
 		m.errors["4xx"].Inc()
@@ -250,7 +293,7 @@ func (m *serverMetrics) recordPlanStats(stats []algebra.OpStats) {
 // ResultCache and engine.AnalysisCache (authoritative), document count
 // in the registry. Counter totals are monotone in the sources, so Store
 // is safe here.
-func (m *serverMetrics) syncGauges(docs int, cs CacheStats, as engine.AnalysisCacheStats) {
+func (m *serverMetrics) syncGauges(docs int, cs CacheStats, as engine.AnalysisCacheStats, ss *sched.Stats) {
 	m.docs.Set(int64(docs))
 	m.cacheRequests["hit"].Store(cs.Hits)
 	m.cacheRequests["miss"].Store(cs.Misses)
@@ -266,5 +309,17 @@ func (m *serverMetrics) syncGauges(docs int, cs CacheStats, as engine.AnalysisCa
 		if c, ok := m.diagnostics[id]; ok {
 			c.Store(int64(n))
 		}
+	}
+	if ss != nil {
+		m.schedAdmissions["admitted"].Store(ss.Admitted)
+		m.schedAdmissions["queued"].Store(ss.AdmittedQueued)
+		m.schedAdmissions["shed_queue_full"].Store(ss.ShedQueueFull)
+		m.schedAdmissions["shed_wait"].Store(ss.ShedWait)
+		m.schedAdmissions["abandoned"].Store(ss.Abandoned)
+		m.schedWorkers.Set(int64(ss.Workers))
+		m.schedRunning.Set(int64(ss.Running))
+		m.schedQueueDepth.Set(int64(ss.Queued))
+		m.schedQueueCap.Set(int64(ss.QueueCap))
+		m.schedBudgetUse.Set(int64(ss.BudgetInUse))
 	}
 }

@@ -168,6 +168,7 @@ func TestMetricsLabelLint(t *testing.T) {
 		"outcome": {
 			"":                               cacheOutcomes,
 			"pimento_twigjoin_queries_total": twigOutcomes,
+			"pimento_sched_admissions_total": admissionOutcomes,
 		},
 		"op":    {"": opKinds},
 		"dir":   {"": answerDirs},

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/profile"
+	"repro/internal/sched"
 	"repro/internal/text"
 	"repro/internal/tpq"
 	"repro/internal/xmldoc"
@@ -74,6 +76,26 @@ type Config struct {
 	// does not name one (zero value: plan.AccessAuto). Requests override
 	// it per search with the "access" field.
 	DefaultAccess plan.AccessPath
+	// PoolWorkers sizes the admission scheduler: at most this many
+	// searches execute concurrently, each sequential unless
+	// ParallelMinNodes grants plan workers. 0 means GOMAXPROCS; -1
+	// disables the scheduler entirely — every request executes
+	// immediately with the legacy unconditional-GOMAXPROCS parallelism
+	// (the load harness's naive baseline, not a production setting).
+	PoolWorkers int
+	// PoolQueue is the admission waiting-room capacity: requests beyond
+	// it are shed with 503 + Retry-After. 0 means 64×PoolWorkers;
+	// negative means no waiting room.
+	PoolQueue int
+	// PoolMaxWait bounds how long a request may sit queued before being
+	// shed with 429 + Retry-After. 0 disables the bound (the request's
+	// own deadline still applies while it waits).
+	PoolMaxWait time.Duration
+	// ParallelMinNodes is the document node count above which a request
+	// with parallelism 0 is granted intra-query workers
+	// (plan.ResolveParallelism): 0 means plan.DefaultParallelMinNodes.
+	// Ignored when the scheduler is disabled (legacy resolution).
+	ParallelMinNodes int
 }
 
 // Server serves personalized XML search over a registry of documents.
@@ -87,6 +109,9 @@ type Server struct {
 	cache    *ResultCache
 	analysis *engine.AnalysisCache
 	mux      *http.ServeMux
+	// pool is the admission scheduler; nil when Config.PoolWorkers is -1
+	// (legacy mode: unbounded concurrent executions).
+	pool *sched.Pool
 
 	stats   serverStats
 	metrics *serverMetrics
@@ -106,7 +131,10 @@ type serverStats struct {
 	errors5xx       atomic.Int64
 	timeouts        atomic.Int64
 	canceled        atomic.Int64
-	inFlight        atomic.Int64
+	// shed counts searches refused by the admission scheduler (503
+	// queue-full and 429 wait-bound sheds).
+	shed     atomic.Int64
+	inFlight atomic.Int64
 }
 
 // New returns an empty server; add documents with Add/AddXML.
@@ -127,6 +155,20 @@ func New(cfg Config) *Server {
 		cache:    NewResultCache(cfg.CacheSize),
 		analysis: engine.NewAnalysisCache(cfg.AnalysisCacheSize),
 		metrics:  newServerMetrics(),
+	}
+	if cfg.PoolWorkers >= 0 {
+		s.pool = sched.New(sched.Config{
+			Workers: cfg.PoolWorkers,
+			Queue:   cfg.PoolQueue,
+			MaxWait: cfg.PoolMaxWait,
+			ObserveWait: func(d time.Duration) {
+				s.metrics.schedQueueWait.Observe(d.Seconds())
+			},
+		})
+		// One budget for every extra goroutine: registry fan-out helpers
+		// and parallel plan partitions draw from the same allowance, so
+		// their product can never exceed one machine's worth.
+		s.reg.SetBudget(s.pool.Budget())
 	}
 	if cfg.SlowQueryThreshold > 0 {
 		s.slowlog = newSlowQueryLogger(cfg.SlowQueryThreshold, cfg.SlowQueryLog,
@@ -184,6 +226,10 @@ func (s *Server) Docs() []string { return s.reg.Names() }
 
 // Cache exposes the result cache (for stats and tests).
 func (s *Server) Cache() *ResultCache { return s.cache }
+
+// Pool exposes the admission scheduler (nil when disabled), for stats
+// and tests.
+func (s *Server) Pool() *sched.Pool { return s.pool }
 
 // AnalysisCache exposes the shared analysis-verdict cache (for stats
 // and tests).
@@ -266,14 +312,20 @@ type SearchResult struct {
 // execution that produced the results — on a cache hit they replay the
 // leader's numbers, which is the truthful reading.
 type SearchBody struct {
-	Results      []SearchResult `json:"results"`
-	K            int            `json:"k"`
-	Strategy     string         `json:"strategy"`
-	AppliedSRs   []string       `json:"applied_srs,omitempty"`
-	PlanShape    string         `json:"plan,omitempty"`
-	Workers      int            `json:"workers,omitempty"`
-	TotalPruned  int            `json:"total_pruned,omitempty"`
-	DocsSearched int            `json:"docs_searched"`
+	Results    []SearchResult `json:"results"`
+	K          int            `json:"k"`
+	Strategy   string         `json:"strategy"`
+	AppliedSRs []string       `json:"applied_srs,omitempty"`
+	PlanShape  string         `json:"plan,omitempty"`
+	Workers    int            `json:"workers,omitempty"`
+	// Parallelism is the resolved parallelism the execution was granted
+	// (plan.ResolveParallelism): what actually ran, not what the request
+	// asked for — mirroring the "access" field's resolved-value
+	// contract. Fan-out searches report 1 (per-document plans are
+	// sequential; the fan-out supplies the concurrency).
+	Parallelism  int `json:"parallelism,omitempty"`
+	TotalPruned  int `json:"total_pruned,omitempty"`
+	DocsSearched int `json:"docs_searched"`
 	// ExecUS is the wall time of the execution that produced these
 	// results, in microseconds.
 	ExecUS int64 `json:"exec_us"`
@@ -403,8 +455,14 @@ func (s *Server) buildEngineRequest(sreq *SearchRequest) (engine.Request, int, e
 	if sreq.K > s.cfg.MaxK {
 		return req, http.StatusBadRequest, fmt.Errorf("k %d exceeds the maximum of %d", sreq.K, s.cfg.MaxK)
 	}
-	if sreq.Parallelism < 0 || sreq.Parallelism > 1024 {
-		return req, http.StatusBadRequest, fmt.Errorf("parallelism %d out of range [0,1024]", sreq.Parallelism)
+	// The contract matches what the plan layer will actually run:
+	// [0, plan.MaxParallelism], rejected — not silently clamped — above
+	// it. (The old ceiling of 1024 accepted values the plan quietly cut
+	// down to the candidate count; the response's "parallelism" field
+	// now reports the resolved value so clients can see what ran.)
+	if sreq.Parallelism < 0 || sreq.Parallelism > plan.MaxParallelism {
+		return req, http.StatusBadRequest,
+			fmt.Errorf("parallelism %d out of range [0,%d]", sreq.Parallelism, plan.MaxParallelism)
 	}
 	var err error
 	if sreq.Query != "" {
@@ -439,6 +497,16 @@ func (s *Server) buildEngineRequest(sreq *SearchRequest) (engine.Request, int, e
 	// The serving layer always pays for operator timing: /metrics and
 	// the slow-query log attribute time inside the plan with it.
 	req.Timing = true
+	if s.pool != nil {
+		// Under the scheduler, parallelism 0 resolves by document size
+		// and extra goroutines come from the shared budget. With the
+		// pool disabled (PoolWorkers -1), keep the legacy unconditional
+		// GOMAXPROCS resolution — the load harness's naive baseline.
+		req.ParallelMinNodes = s.cfg.ParallelMinNodes
+		req.Budget = s.pool.Budget()
+	} else {
+		req.ParallelMinNodes = -1
+	}
 
 	if !s.fanout(sreq) {
 		if _, ok := s.reg.Document(sreq.Doc); !ok {
@@ -455,20 +523,26 @@ func (s *Server) fanout(sreq *SearchRequest) bool {
 	return sreq.Doc == "" || sreq.Doc == "*"
 }
 
-// cacheKey derives the canonical result-cache key for the request.
+// cacheKey derives the canonical result-cache key for the request. The
+// key carries the *resolved* parallelism — what the plan will actually
+// run given the document size and threshold — so requests that resolve
+// identically share an entry and a threshold change can never serve a
+// stale one (see engine.Request.CacheKey).
 func (s *Server) cacheKey(sreq *SearchRequest, req engine.Request) (string, error) {
 	if s.fanout(sreq) {
 		fp, err := s.registryFingerprint()
 		if err != nil {
 			return "", err
 		}
-		return req.CacheKey(fp), nil
+		// Fan-out per-document plans always run sequentially (the
+		// fan-out itself is the parallelism).
+		return req.CacheKey(fp, 1), nil
 	}
 	e, ok := s.engineFor(sreq.Doc)
 	if !ok {
 		return "", fmt.Errorf("unknown document %q", sreq.Doc)
 	}
-	return req.CacheKey(e.Fingerprint()), nil
+	return req.CacheKey(e.Fingerprint(), e.ResolvedParallelism(&req)), nil
 }
 
 // execute runs the search (single document or fan-out), records the
@@ -477,6 +551,16 @@ func (s *Server) cacheKey(sreq *SearchRequest, req engine.Request) (string, erro
 // inside the single-flight fill — so cache hits neither re-record
 // operator metrics nor re-trip the slow-query log.
 func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Request) (*cachedSearch, error) {
+	// Admission happens here — inside the single-flight fill — so cache
+	// hits and coalesced followers never occupy a slot; only work that
+	// will actually execute competes for the pool.
+	if s.pool != nil {
+		release, err := s.pool.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
 	var body SearchBody
 	if s.fanout(sreq) {
 		// Fan-out searches do not support the per-engine extras.
@@ -492,6 +576,7 @@ func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Re
 			K:            resolveK(req.K),
 			Strategy:     req.Strategy.String(),
 			AppliedSRs:   resp.AppliedSRs,
+			Parallelism:  1,
 			DocsSearched: resp.DocsSearched,
 			ExecUS:       resp.Elapsed.Microseconds(),
 		}
@@ -523,6 +608,7 @@ func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Re
 			AppliedSRs:   resp.AppliedSRs,
 			PlanShape:    resp.PlanShape,
 			Workers:      resp.Workers,
+			Parallelism:  resp.Parallelism,
 			TotalPruned:  resp.TotalPruned,
 			DocsSearched: 1,
 			ExecUS:       resp.Elapsed.Microseconds(),
@@ -755,7 +841,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.stats.metricsRequests.Add(1)
 	done := s.metrics.startRequest("metrics")
 	defer done()
-	s.metrics.syncGauges(s.reg.Len(), s.cache.Stats(), s.analysis.Stats())
+	var ss *sched.Stats
+	if s.pool != nil {
+		st := s.pool.Stats()
+		ss = &st
+	}
+	s.metrics.syncGauges(s.reg.Len(), s.cache.Stats(), s.analysis.Stats(), ss)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.reg.WritePrometheus(w)
 }
@@ -768,10 +859,15 @@ type Statsz struct {
 	Errors5xx int64            `json:"errors_5xx"`
 	Timeouts  int64            `json:"timeouts"`
 	Canceled  int64            `json:"canceled"`
-	InFlight  int64            `json:"in_flight"`
-	Cache     CacheStats       `json:"cache"`
+	// Shed counts searches the admission scheduler refused (503/429).
+	Shed     int64      `json:"shed"`
+	InFlight int64      `json:"in_flight"`
+	Cache    CacheStats `json:"cache"`
 	// Analysis is the shared analysis-verdict cache's counter block.
 	Analysis engine.AnalysisCacheStats `json:"analysis"`
+	// Sched is the admission scheduler's counter block; nil when the
+	// scheduler is disabled (PoolWorkers -1).
+	Sched *sched.Stats `json:"sched,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -783,6 +879,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 
 // Snapshot returns the current counters (the /statsz payload).
 func (s *Server) Snapshot() Statsz {
+	var ss *sched.Stats
+	if s.pool != nil {
+		st := s.pool.Stats()
+		ss = &st
+	}
 	return Statsz{
 		Docs: s.reg.Len(),
 		Endpoints: map[string]int64{
@@ -797,9 +898,11 @@ func (s *Server) Snapshot() Statsz {
 		Errors5xx: s.stats.errors5xx.Load(),
 		Timeouts:  s.stats.timeouts.Load(),
 		Canceled:  s.stats.canceled.Load(),
+		Shed:      s.stats.shed.Load(),
 		InFlight:  s.stats.inFlight.Load(),
 		Cache:     s.cache.Stats(),
 		Analysis:  s.analysis.Stats(),
+		Sched:     ss,
 	}
 }
 
@@ -839,10 +942,18 @@ func (e *badRequestError) Unwrap() error { return e.err }
 func classifySearchError(err error) (status int, kind string) {
 	var bad *badRequestError
 	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		// The admission queue is full: genuine overload, shed with 503
+		// so clients back off (Retry-After is attached by the writer).
+		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, sched.ErrQueueWait):
+		// Queued past the wait bound: throttle with 429.
+		return http.StatusTooManyRequests, "throttled"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
-		// 499: the client went away; the write is best-effort.
+		// 499: the client went away; the write is best-effort. A client
+		// that disconnects while queued for admission lands here too.
 		return 499, "canceled"
 	case errors.As(err, &bad):
 		return http.StatusBadRequest, "parse"
@@ -862,6 +973,13 @@ func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
 		s.stats.timeouts.Add(1)
 	case "canceled":
 		s.stats.canceled.Add(1)
+	case "overloaded", "throttled":
+		s.stats.shed.Add(1)
+		if s.pool != nil {
+			// Retry-After: the queue's estimated drain time at the pool's
+			// recent service rate.
+			w.Header().Set("Retry-After", strconv.Itoa(s.pool.RetryAfter()))
+		}
 	}
 	s.writeError(w, status, kind, err)
 }

@@ -332,7 +332,7 @@ func (e *Engine) SearchContext(ctx context.Context, q *Query, prof *Profile, opt
 	if e.cache == nil || q == nil || o.k < 0 {
 		return e.e.SearchContext(ctx, req)
 	}
-	key := req.CacheKey(e.e.Fingerprint())
+	key := req.CacheKey(e.e.Fingerprint(), e.e.ResolvedParallelism(&req))
 	v, outcome, err := e.cache.Do(ctx, key, func() (any, error) {
 		return e.e.SearchContext(ctx, req)
 	})

@@ -1,0 +1,136 @@
+#!/bin/sh
+# loadtest.sh — serving-side QPS/latency measurement and the scheduler
+# A/B: run pimentod with the admission pool (default) and without it
+# (-pool -1, the legacy per-request-GOMAXPROCS behavior), drive both
+# with cmd/loadgen at several concurrency levels and document sizes,
+# and write BENCH_serving.json — one row per (size, sched, workload)
+# with p50/p99/QPS — so the "pooled beats naive under load" claim is a
+# committed, regenerable artifact.
+#
+# Every run's result digest is compared against a sequential
+# single-client baseline on the same daemon: the scheduler must change
+# scheduling, never answers.
+#
+# Usage: scripts/loadtest.sh [output.json]
+# Tune with DURATION (default 4s per run), SIZES, CONCS, PORT, and
+# MAX_P99_MS (a per-run p99 gate for `make serving-smoke`). The
+# daemon runs under GOMAXPROCS=8 regardless of the host so the naive
+# mode exhibits its oversubscription even on small CI boxes.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_serving.json}"
+duration="${DURATION:-4s}"
+sizes="${SIZES:-101K 1M}"
+concs="${CONCS:-16 32}"
+port="${PORT:-18080}"
+maxp99="${MAX_P99_MS:-0}"
+# A single common generator-vocabulary word: the keyword path matches
+# it as one phrase, so multiple words would demand exact adjacency and
+# return nothing.
+keywords="honour"
+
+bin="$(mktemp -d)"
+rows="$bin/rows"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin/pimentod" ./cmd/pimentod
+go build -o "$bin/loadgen" ./cmd/loadgen
+
+# field NAME FILE — pull a numeric field out of a loadgen JSON summary.
+field() {
+    sed -n "s/.*\"$1\": \([0-9.]*\).*/\1/p" "$2" | head -1
+}
+# digests FILE — the sorted result digests of a run, space-joined.
+digests() {
+    sed -n '/"digests"/,/\]/p' "$1" | grep -o '"[0-9a-f][0-9a-f]*"' | tr -d '"' | tr '\n' ' '
+}
+
+start_daemon() { # $1 = size, $2... = extra pimentod flags
+    size="$1"; shift
+    GOMAXPROCS=8 "$bin/pimentod" -addr "127.0.0.1:$port" -xmark "$size" "$@" \
+        >"$bin/daemon.log" 2>&1 &
+    daemon_pid=$!
+    i=0
+    until curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "daemon failed to start"; cat "$bin/daemon.log"; exit 1; }
+        sleep 0.1
+    done
+}
+stop_daemon() {
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+}
+
+# run_loadgen OUTFILE ARGS... — one measured run.
+run_loadgen() {
+    f="$1"; shift
+    "$bin/loadgen" -addr "127.0.0.1:$port" -doc xmark -keywords "$keywords" \
+        -duration "$duration" -max-p99-ms "$maxp99" "$@" >"$f"
+}
+
+# row SIZE SCHED WORKLOAD FILE BASE_DIGEST — append one JSON row,
+# verifying the run's answers match the sequential baseline.
+row() {
+    d="$(digests "$4")"
+    if [ "$d" != "$5" ]; then
+        echo "DIGEST MISMATCH: size=$1 sched=$2 workload=$3: got [$d] want [$5]" >&2
+        exit 1
+    fi
+    printf '  {"size": "%s", "sched": "%s", "workload": "%s", "qps": %s, "p50_ms": %s, "p99_ms": %s, "requests": %s, "shed": %s, "errors": %s, "digest": "%s"}' \
+        "$1" "$2" "$3" \
+        "$(field achieved_qps "$4")" "$(field p50_ms "$4")" "$(field p99_ms "$4")" \
+        "$(field requests "$4")" "$(field shed "$4")" "$(field errors "$4")" \
+        "$(echo "$5" | tr -d ' ')" >>"$rows"
+    printf ',\n' >>"$rows"
+}
+
+: >"$rows"
+for size in $sizes; do
+    for sched in naive pooled; do
+        if [ "$sched" = naive ]; then
+            start_daemon "$size" -pool -1
+        else
+            start_daemon "$size"
+        fi
+
+        # Sequential baseline: one client, parallelism pinned to 1. Its
+        # digest is the ground truth every loaded run must reproduce.
+        run_loadgen "$bin/seq.json" -conc 1 -parallelism 1 -max-errors 0
+        base="$(digests "$bin/seq.json")"
+        [ -n "$base" ] || { echo "baseline produced no digest"; cat "$bin/seq.json"; exit 1; }
+        row "$size" "$sched" "seq-conc1" "$bin/seq.json" "$base"
+
+        for conc in $concs; do
+            run_loadgen "$bin/run.json" -conc "$conc" -max-errors 0
+            row "$size" "$sched" "closed-conc$conc" "$bin/run.json" "$base"
+        done
+        run_loadgen "$bin/open.json" -qps 50 -seed 7 -max-errors 0
+        row "$size" "$sched" "open-qps50" "$bin/open.json" "$base"
+
+        stop_daemon
+        echo "done: size=$size sched=$sched" >&2
+    done
+done
+
+{
+    echo '['
+    sed '$s/,$//' "$rows"
+    echo ']'
+} >"$out"
+echo "wrote $out" >&2
+
+# Readable A/B recap: pooled vs naive p99 and QPS per size/workload.
+awk -F'"' '
+/"sched": "naive"/  { key = $4 "/" $12; n_p99[key] = p99($0); n_qps[key] = qps($0) }
+/"sched": "pooled"/ { key = $4 "/" $12; printf "%-24s p99 naive=%.1fms pooled=%.1fms   qps naive=%.1f pooled=%.1f\n", key, n_p99[key], p99($0), n_qps[key], qps($0) }
+function p99(line) { match(line, /"p99_ms": [0-9.]+/); return substr(line, RSTART+10, RLENGTH-10) + 0 }
+function qps(line) { match(line, /"qps": [0-9.]+/); return substr(line, RSTART+7, RLENGTH-7) + 0 }
+' "$out" >&2
