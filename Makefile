@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke bench-parallel bench-twigjoin bench-serving serving-smoke metrics-lint profile vet-profiles
+.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke mutation-smoke bench-parallel bench-twigjoin bench-serving serving-smoke metrics-lint profile vet-profiles
 
-ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles serving-smoke
+ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles serving-smoke mutation-smoke
 
 fmt-check:
 	@files="$$(gofmt -l .)"; \
@@ -29,18 +29,20 @@ race:
 # The headline correctness properties under the race detector: identical
 # ranked answers at every parallelism level, the engine-level concurrent
 # stress run, and the serving layer's mixed-traffic stress (shared
-# cache, mid-flight deadline expiry, goroutine-leak check).
+# cache, mid-flight deadline expiry, goroutine-leak check) plus the
+# live-corpus stress (concurrent searchers, mutators, /watch pollers —
+# every answer must match some reachable corpus state).
 smoke:
 	$(GO) test -race -run 'TestParallelMatchesSequential|TestConcurrentSearches|TestAnalysisCacheStress' \
 		./internal/plan/ ./internal/engine/ -count=1
-	$(GO) test -race -run 'TestServerStress|TestCacheEquivalenceProperty|TestCacheSingleFlight' \
+	$(GO) test -race -run 'TestServerStress|TestCacheEquivalenceProperty|TestCacheSingleFlight|TestMutationStress' \
 		./internal/server/ -count=2
 
 # Coverage floors on the layers the serving path leans on. The floor is
 # a gate, not a target: new handlers and cache paths ship with tests.
 COVER_FLOOR := 80
 cover:
-	@for pkg in ./internal/server/ ./internal/plan/ ./internal/analysis/; do \
+	@for pkg in ./internal/server/ ./internal/plan/ ./internal/analysis/ ./internal/corpus/; do \
 		pct="$$($(GO) test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"; \
 		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
 		ok="$$(awk "BEGIN{print ($$pct >= $(COVER_FLOOR)) ? 1 : 0}")"; \
@@ -60,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParseXML -fuzztime $(FUZZTIME) -run '^$$' ./internal/xmldoc/
 	$(GO) test -fuzz FuzzParseProfile -fuzztime $(FUZZTIME) -run '^$$' ./internal/profile/
 	$(GO) test -fuzz FuzzSearchHandler -fuzztime $(FUZZTIME) -run '^$$' ./internal/server/
+	$(GO) test -fuzz FuzzDocUpdate -fuzztime $(FUZZTIME) -run '^$$' ./internal/server/
 	$(GO) test -fuzz FuzzVetProfile -fuzztime $(FUZZTIME) -run '^$$' ./internal/analysis/
 	$(GO) test -fuzz FuzzTwigJoin -fuzztime $(FUZZTIME) -run '^$$' ./internal/twig/
 
@@ -96,6 +99,18 @@ bench-serving:
 # bounded. Catches scheduler deadlocks and answer drift, not perf.
 serving-smoke:
 	DURATION=2s SIZES=101K CONCS=16 MAX_P99_MS=5000 scripts/loadtest.sh /tmp/bench_serving_smoke.json
+
+# Fixed-seed live-corpus gate for CI: the differential equivalence
+# suites — "mutate then query" answers byte-identical to "rebuild from
+# scratch then query" on both access paths — plus the cache-precision
+# property (untouched docs keep their entries, touched docs never serve
+# stale bytes) and the watch replay/resync contract. Deterministic
+# seeds; see DESIGN.md §15.
+mutation-smoke:
+	$(GO) test -run 'TestMutateThenQueryEquivalence|TestMutationCachePrecision|TestPutDeleteDocContract|TestWatch' \
+		./internal/server/ -count=1
+	$(GO) test -run 'TestCorpusMutateEquivalence|TestSnapshotIsolation|TestGenerationStampedFingerprints' \
+		./internal/corpus/ -count=1
 
 # Profiles pimentod under a Fig. 7-style workload: starts the daemon
 # with pprof enabled on -debug-addr, drives repeated personalized

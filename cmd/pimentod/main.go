@@ -9,8 +9,11 @@
 //	curl -s localhost:8080/statsz
 //
 // Endpoints: POST /search, POST /explain, POST /lint (profile vet
-// diagnostics), GET /healthz, GET /statsz, GET /metrics (Prometheus
-// text exposition).
+// diagnostics), PUT/DELETE /docs/{name} (live corpus mutation — the
+// body of a PUT is the raw XML document; -max-doc-bytes bounds it),
+// GET /docs, GET /watch (long-poll mutation feed; -watch-buffer sizes
+// its replay window), GET /healthz, GET /statsz, GET /metrics
+// (Prometheus text exposition).
 // Per-request deadlines come from the request's timeout_ms field,
 // bounded by -timeout; repeated identical requests are answered from a
 // single-flight LRU result cache, and profile/query analysis verdicts
@@ -70,11 +73,18 @@ func main() {
 	poolQueue := flag.Int("pool-queue", 0, "admission waiting-room capacity; beyond it requests are shed with 503 (0 = 64×workers; negative = no waiting room)")
 	poolMaxWait := flag.Duration("pool-max-wait", 0, "shed requests queued longer than this with 429 (0 disables the bound)")
 	parMinNodes := flag.Int("par-min-nodes", 0, "document node count above which parallelism 0 (auto) is granted intra-query workers (0 = built-in default from BENCH_parallel.json)")
+	maxDocBytes := flag.String("max-doc-bytes", "64M", "largest document body PUT /docs/{name} accepts (e.g. 512K, 64M)")
+	watchBuffer := flag.Int("watch-buffer", 256, "mutations GET /watch retains for since-cursor replay")
 	flag.Parse()
 
 	if len(docs) == 0 && *xmarkSize == "" {
-		fmt.Fprintln(os.Stderr, "pimentod: at least one -doc (or -xmark) is required")
-		flag.Usage()
+		// A document-less start is fine now that the corpus is live:
+		// clients populate it with PUT /docs/{name}.
+		log.Printf("starting with an empty corpus (populate with PUT /docs/{name})")
+	}
+	maxDoc, err := parseSize(*maxDocBytes)
+	if err != nil || maxDoc <= 0 {
+		fmt.Fprintf(os.Stderr, "pimentod: bad -max-doc-bytes %q (want e.g. 512K, 64M)\n", *maxDocBytes)
 		os.Exit(2)
 	}
 	accessPath, err := plan.ParseAccessPath(*access)
@@ -94,6 +104,8 @@ func main() {
 		PoolQueue:          *poolQueue,
 		PoolMaxWait:        *poolMaxWait,
 		ParallelMinNodes:   *parMinNodes,
+		MaxDocBytes:        int64(maxDoc),
+		WatchBuffer:        *watchBuffer,
 	})
 	defer srv.Close()
 

@@ -4,6 +4,19 @@
 // the per-document top-k lists are merged under the profile's rank order
 // into a global top k.
 //
+// The corpus is *live*: documents can be added, replaced and deleted
+// while searches are in flight. All reads go through an immutable
+// copy-on-write Snapshot behind one atomic pointer — a search loads the
+// pointer once and keeps a consistent view of every document, index and
+// fingerprint for its whole execution, no matter how many swaps land
+// meanwhile. Writers build the replacement per-document index off the
+// swap path (Prepare), then publish a new snapshot under a short
+// critical section (Commit/Delete). Every mutation bumps a monotonic
+// corpus generation; each entry's fingerprint is stamped with the
+// generation it was written at, so cache keys derived from a fingerprint
+// can never alias across generations — not even when a document is
+// replaced with byte-identical content.
+//
 // Caveat, as in any federated ranking: the query score S is tf·idf with
 // per-document statistics, so S values are comparable across documents
 // only to the extent their term statistics are; K (keyword-OR score) and
@@ -13,9 +26,12 @@ package corpus
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,7 +46,104 @@ import (
 	"repro/internal/xmldoc"
 )
 
-// Corpus is a set of named, indexed XML documents.
+// Entry is one immutable (document, index) pair inside a snapshot,
+// stamped with the corpus generation at which it was written.
+type Entry struct {
+	name string
+	doc  *xmldoc.Document
+	idx  *index.Index
+	gen  uint64
+
+	// contentFP is the content hash (index.ContentFingerprint). Prepare
+	// computes it eagerly — off the search path — but entries restored by
+	// Load compute it lazily on first Fingerprint call.
+	fpOnce    sync.Once
+	contentFP string
+}
+
+// Name returns the entry's registered document name.
+func (e *Entry) Name() string { return e.name }
+
+// Document returns the entry's document.
+func (e *Entry) Document() *xmldoc.Document { return e.doc }
+
+// Index returns the entry's prebuilt index.
+func (e *Entry) Index() *index.Index { return e.idx }
+
+// Generation returns the corpus generation at which this entry was
+// written (monotonically increasing across all mutations).
+func (e *Entry) Generation() uint64 { return e.gen }
+
+// Fingerprint returns the entry's generation-stamped fingerprint:
+// the content hash qualified by the write generation. The stamp
+// guarantees that cache keys minted against one write of a name can
+// never be satisfied after a replacement — even a replacement with
+// byte-identical content gets a fresh key space, which is what makes
+// targeted cache invalidation sound (DESIGN.md §15).
+func (e *Entry) Fingerprint() string {
+	e.fpOnce.Do(func() {
+		if e.contentFP == "" {
+			e.contentFP = index.ContentFingerprint(e.idx)
+		}
+	})
+	return e.contentFP + "@g" + strconv.FormatUint(e.gen, 10)
+}
+
+// Snapshot is one immutable view of the corpus: a consistent set of
+// entries plus the corpus generation at capture time. Searches resolve
+// every lookup (existence, fingerprint, index, document) against one
+// snapshot so a concurrent swap can never mix generations mid-request.
+type Snapshot struct {
+	c       *Corpus
+	names   []string // insertion order
+	entries map[string]*Entry
+	gen     uint64
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// Generation returns the corpus generation this snapshot was taken at.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Len returns the number of documents in the snapshot.
+func (s *Snapshot) Len() int { return len(s.names) }
+
+// Names returns the document names in insertion order.
+func (s *Snapshot) Names() []string { return append([]string(nil), s.names...) }
+
+// Entry returns a document's entry by name.
+func (s *Snapshot) Entry(name string) (*Entry, bool) {
+	e, ok := s.entries[name]
+	return e, ok
+}
+
+// Fingerprint combines the snapshot generation with every entry's
+// generation-stamped fingerprint into the snapshot's registry
+// fingerprint (sorted by name, so document insertion order does not
+// split caches keyed on it). The generation is folded in so the
+// fingerprint moves strictly forward across mutations — without it, a
+// put followed by a delete restores the old entry set and would revert
+// the fingerprint, re-opening a retired fan-out key space. Fan-out
+// cache entries are invalidated on every mutation regardless, so the
+// stamp costs no cache reuse. Computed once per snapshot and cached —
+// fan-out cache-key derivation after the first is a pointer load.
+func (s *Snapshot) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		names := append([]string(nil), s.names...)
+		sort.Strings(names)
+		h := sha256.New()
+		fmt.Fprintf(h, "gen=%d;", s.gen)
+		for _, n := range names {
+			fmt.Fprintf(h, "%s=%s;", n, s.entries[n].Fingerprint())
+		}
+		s.fp = "corpus:" + hex.EncodeToString(h.Sum(nil)[:16])
+	})
+	return s.fp
+}
+
+// Corpus is a set of named, indexed XML documents behind an atomically
+// swappable snapshot.
 type Corpus struct {
 	pipe text.Pipeline
 
@@ -39,10 +152,10 @@ type Corpus struct {
 	// GOMAXPROCS-1 helpers (the library default).
 	budget plan.WorkerBudget
 
-	mu    sync.RWMutex
-	names []string
-	docs  map[string]*xmldoc.Document
-	idx   map[string]*index.Index
+	// wmu serializes writers; readers never take it. The snapshot
+	// pointer is the only shared mutable state.
+	wmu  sync.Mutex
+	snap atomic.Pointer[Snapshot]
 }
 
 // SetBudget shares a goroutine budget with the fan-out: helper
@@ -56,22 +169,115 @@ func (c *Corpus) SetBudget(b plan.WorkerBudget) { c.budget = b }
 
 // New creates an empty corpus with the given text pipeline.
 func New(pipe text.Pipeline) *Corpus {
-	return &Corpus{
-		pipe: pipe,
-		docs: make(map[string]*xmldoc.Document),
-		idx:  make(map[string]*index.Index),
+	c := &Corpus{pipe: pipe}
+	c.snap.Store(&Snapshot{c: c, entries: map[string]*Entry{}})
+	return c
+}
+
+// Snapshot returns the current immutable view. Callers that need a
+// consistent multi-step read (check existence, derive a cache key, then
+// execute) MUST resolve every step against one returned snapshot
+// rather than calling the Corpus accessors repeatedly.
+func (c *Corpus) Snapshot() *Snapshot { return c.snap.Load() }
+
+// Generation returns the current corpus generation: 0 for an empty,
+// never-mutated corpus, bumped by one on every Commit/Delete.
+func (c *Corpus) Generation() uint64 { return c.snap.Load().gen }
+
+// Mutation describes one applied corpus mutation.
+type Mutation struct {
+	// Op is "put" or "delete".
+	Op string
+	// Name is the mutated document's name.
+	Name string
+	// Gen is the corpus generation after the mutation; the mutated
+	// entry (for puts) is stamped with it.
+	Gen uint64
+	// Created is true when a put introduced a new name.
+	Created bool
+	// Nodes is the document's node count (puts only).
+	Nodes int
+}
+
+// Prepared is an indexed document ready to be swapped into the corpus.
+// Building it is the expensive part of a mutation (index construction
+// plus content hashing) and happens outside every lock, so concurrent
+// searches — and other writers — are never blocked behind it.
+type Prepared struct {
+	doc       *xmldoc.Document
+	ix        *index.Index
+	contentFP string
+}
+
+// Nodes returns the prepared document's node count.
+func (p *Prepared) Nodes() int { return p.doc.Len() }
+
+// Prepare indexes and fingerprints doc for a later Commit. It takes no
+// locks.
+func (c *Corpus) Prepare(doc *xmldoc.Document) *Prepared {
+	ix := index.Build(doc, c.pipe)
+	return &Prepared{doc: doc, ix: ix, contentFP: index.ContentFingerprint(ix)}
+}
+
+// Commit swaps a prepared document in under name, replacing any
+// previous entry, and publishes a new snapshot. The critical section is
+// map-copy sized — the index build already happened in Prepare.
+func (c *Corpus) Commit(name string, p *Prepared) Mutation {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	old := c.snap.Load()
+	gen := old.gen + 1
+	e := &Entry{name: name, doc: p.doc, idx: p.ix, gen: gen, contentFP: p.contentFP}
+	ns := &Snapshot{c: c, gen: gen, entries: make(map[string]*Entry, len(old.entries)+1)}
+	for k, v := range old.entries {
+		ns.entries[k] = v
 	}
+	_, existed := old.entries[name]
+	ns.entries[name] = e
+	ns.names = old.names
+	if !existed {
+		ns.names = append(append([]string(nil), old.names...), name)
+	}
+	c.snap.Store(ns)
+	return Mutation{Op: "put", Name: name, Gen: gen, Created: !existed, Nodes: p.doc.Len()}
+}
+
+// Put is Prepare followed by Commit: index doc off-lock, then swap it
+// in under name.
+func (c *Corpus) Put(name string, doc *xmldoc.Document) Mutation {
+	return c.Commit(name, c.Prepare(doc))
+}
+
+// Delete removes name and publishes a new snapshot. It reports false —
+// and publishes nothing — when the name is not registered.
+func (c *Corpus) Delete(name string) (Mutation, bool) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	old := c.snap.Load()
+	if _, ok := old.entries[name]; !ok {
+		return Mutation{}, false
+	}
+	gen := old.gen + 1
+	ns := &Snapshot{c: c, gen: gen, entries: make(map[string]*Entry, len(old.entries)-1)}
+	for k, v := range old.entries {
+		if k != name {
+			ns.entries[k] = v
+		}
+	}
+	ns.names = make([]string, 0, len(old.names)-1)
+	for _, n := range old.names {
+		if n != name {
+			ns.names = append(ns.names, n)
+		}
+	}
+	c.snap.Store(ns)
+	return Mutation{Op: "delete", Name: name, Gen: gen}, true
 }
 
 // Add indexes doc under name. Adding a name twice replaces the document.
+// It is Put without the returned Mutation — the original library API.
 func (c *Corpus) Add(name string, doc *xmldoc.Document) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.docs[name]; !exists {
-		c.names = append(c.names, name)
-	}
-	c.docs[name] = doc
-	c.idx[name] = index.Build(doc, c.pipe)
+	c.Put(name, doc)
 }
 
 // AddXML parses src and adds it under name.
@@ -85,35 +291,29 @@ func (c *Corpus) AddXML(name, src string) error {
 }
 
 // Len returns the number of documents.
-func (c *Corpus) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.names)
-}
+func (c *Corpus) Len() int { return c.snap.Load().Len() }
 
 // Names returns the document names in insertion order.
-func (c *Corpus) Names() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return append([]string(nil), c.names...)
-}
+func (c *Corpus) Names() []string { return c.snap.Load().Names() }
 
 // Document returns a document by name.
 func (c *Corpus) Document(name string) (*xmldoc.Document, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	d, ok := c.docs[name]
-	return d, ok
+	e, ok := c.snap.Load().entries[name]
+	if !ok {
+		return nil, false
+	}
+	return e.doc, true
 }
 
 // Index returns the prebuilt index of a document by name, so callers
 // layering per-document engines over a corpus (e.g. the serving layer)
 // can reuse it instead of re-indexing.
 func (c *Corpus) Index(name string) (*index.Index, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ix, ok := c.idx[name]
-	return ix, ok
+	e, ok := c.snap.Load().entries[name]
+	if !ok {
+		return nil, false
+	}
+	return e.idx, true
 }
 
 // Result is one globally ranked answer.
@@ -138,14 +338,23 @@ type Response struct {
 // independent), evaluates it against every document in parallel, and
 // merges the per-document top-k lists into the global top k.
 func (c *Corpus) Search(q *tpq.Query, prof *profile.Profile, k int, strat plan.Strategy) (*Response, error) {
-	return c.SearchContext(context.Background(), q, prof, k, strat)
+	return c.Snapshot().SearchContext(context.Background(), q, prof, k, strat)
 }
 
-// SearchContext is Search under a context: per-document executions
-// carry cancellation checkpoints, documents whose turn comes after the
+// SearchContext is Search under a context, evaluated against the
+// snapshot current at call time: per-document executions carry
+// cancellation checkpoints, documents whose turn comes after the
 // context is done are skipped outright, and a cancelled fan-out returns
 // ctx's error instead of a partial merge.
 func (c *Corpus) SearchContext(ctx context.Context, q *tpq.Query, prof *profile.Profile, k int, strat plan.Strategy) (*Response, error) {
+	return c.Snapshot().SearchContext(ctx, q, prof, k, strat)
+}
+
+// SearchContext evaluates the query against exactly this snapshot's
+// documents — mutations committed after the snapshot was taken are
+// invisible, so a search admitted before a swap completes against the
+// old, internally consistent view (no torn reads).
+func (s *Snapshot) SearchContext(ctx context.Context, q *tpq.Query, prof *profile.Profile, k int, strat plan.Strategy) (*Response, error) {
 	if q == nil {
 		return nil, fmt.Errorf("corpus: nil query")
 	}
@@ -170,15 +379,7 @@ func (c *Corpus) SearchContext(ctx context.Context, q *tpq.Query, prof *profile.
 		}
 	}
 
-	c.mu.RLock()
-	names := append([]string(nil), c.names...)
-	idx := make(map[string]*index.Index, len(names))
-	docs := make(map[string]*xmldoc.Document, len(names))
-	for _, n := range names {
-		idx[n] = c.idx[n]
-		docs[n] = c.docs[n]
-	}
-	c.mu.RUnlock()
+	names := s.names
 
 	type docHit struct {
 		doc string
@@ -196,7 +397,7 @@ func (c *Corpus) SearchContext(ctx context.Context, q *tpq.Query, prof *profile.
 	// parallelism, and letting each per-doc plan auto-resolve to
 	// GOMAXPROCS workers used to multiply into GOMAXPROCS² goroutines.
 	searchDoc := func(name string) {
-		p, err := plan.BuildWith(idx[name], encoded, prof, k,
+		p, err := plan.BuildWith(s.entries[name].idx, encoded, prof, k,
 			plan.Options{Strategy: strat, Parallelism: 1})
 		if err != nil {
 			errMu.Lock()
@@ -233,7 +434,7 @@ func (c *Corpus) SearchContext(ctx context.Context, q *tpq.Query, prof *profile.
 	// budget grants tokens. With no shared budget (library use), allow a
 	// private machine's worth per call — the legacy concurrency, minus
 	// the goroutine-per-document spawn.
-	budget := c.budget
+	budget := s.c.budget
 	maxHelpers := len(names) - 1
 	if budget == nil && maxHelpers > runtime.GOMAXPROCS(0)-1 {
 		maxHelpers = runtime.GOMAXPROCS(0) - 1
@@ -283,7 +484,7 @@ func (c *Corpus) SearchContext(ctx context.Context, q *tpq.Query, prof *profile.
 		DocsSearched: len(names),
 	}
 	for _, h := range hits {
-		doc := docs[h.doc]
+		doc := s.entries[h.doc].doc
 		resp.Results = append(resp.Results, Result{
 			DocName: h.doc,
 			Node:    h.a.Node,
@@ -301,11 +502,4 @@ func clip(s string, n int) string {
 		return s
 	}
 	return s[:n] + "…"
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

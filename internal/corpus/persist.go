@@ -21,29 +21,34 @@ const persistVersion = 1
 
 // Save writes the whole corpus (documents + indexes) as one binary
 // snapshot, so a collection indexed once can be reopened instantly.
+// The write is taken from one atomic snapshot: mutations landing
+// mid-save do not tear the output.
 func (c *Corpus) Save(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	snap := c.Snapshot()
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(corpusHeader{
 		Version: persistVersion,
 		Pipe:    c.pipe,
-		Names:   c.names,
+		Names:   snap.names,
 	}); err != nil {
 		return fmt.Errorf("corpus: save header: %w", err)
 	}
-	for _, name := range c.names {
-		if err := c.docs[name].Save(w); err != nil {
+	for _, name := range snap.names {
+		e := snap.entries[name]
+		if err := e.doc.Save(w); err != nil {
 			return fmt.Errorf("corpus: save %s: %w", name, err)
 		}
-		if err := c.idx[name].Save(w); err != nil {
+		if err := e.idx.Save(w); err != nil {
 			return fmt.Errorf("corpus: save %s index: %w", name, err)
 		}
 	}
 	return nil
 }
 
-// Load reads a corpus snapshot written by Save.
+// Load reads a corpus snapshot written by Save. Restored entries are
+// stamped with fresh generations (1..n in saved order); their content
+// fingerprints are computed lazily on first use, so loading does not
+// pay a corpus-sized hashing bill up front.
 func Load(r io.Reader) (*Corpus, error) {
 	var h corpusHeader
 	if err := gob.NewDecoder(r).Decode(&h); err != nil {
@@ -62,11 +67,9 @@ func Load(r io.Reader) (*Corpus, error) {
 		if err != nil {
 			return nil, fmt.Errorf("corpus: load %s index: %w", name, err)
 		}
-		c.mu.Lock()
-		c.names = append(c.names, name)
-		c.docs[name] = doc
-		c.idx[name] = ix
-		c.mu.Unlock()
+		// Commit without re-indexing or re-hashing: the index is already
+		// built, and the content fingerprint fills in lazily.
+		c.Commit(name, &Prepared{doc: doc, ix: ix})
 	}
 	return c, nil
 }

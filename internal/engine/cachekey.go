@@ -7,59 +7,42 @@
 package engine
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/index"
 	"repro/internal/profile"
 	"repro/internal/text"
-	"repro/internal/xmldoc"
 )
 
 // Fingerprint returns a stable hash of everything engine-side that can
-// change a response: the document's full serialized content, the text
-// pipeline configuration (stemming/stopwords change tokenization and
-// hence matching), and the active scorer. It is computed once per
-// engine and cached; two engines over byte-identical documents with the
-// same configuration share a fingerprint, so a result cache survives an
-// engine rebuild or a process restart.
+// change a response: the document's full content, the text pipeline
+// configuration (stemming/stopwords change tokenization and hence
+// matching), and the active scorer — index.ContentFingerprint over the
+// engine's index. It is computed once per engine and cached; two
+// engines over byte-identical documents with the same configuration
+// share a fingerprint, so a result cache survives an engine rebuild or
+// a process restart. A fingerprint installed with SetFingerprint (the
+// mutable registry stamps generation-qualified fingerprints) takes
+// precedence over the computed one.
 func (e *Engine) Fingerprint() string {
 	e.fpOnce.Do(func() {
-		h := sha256.New()
-		pipe := e.ix.Pipeline()
-		fmt.Fprintf(h, "pipe:stem=%t,stop=%t;scorer=%s;doc:",
-			pipe.Stem, pipe.DropStopwords, e.ix.ScorerName())
-		// Hash the node arena directly rather than a serialized XML
-		// string: same content sensitivity, but no multi-megabyte
-		// allocation. Every field is length- or kind-prefixed so distinct
-		// documents cannot collide by concatenation.
-		var num [4]byte
-		writeStr := func(s string) {
-			num[0] = byte(len(s))
-			num[1] = byte(len(s) >> 8)
-			num[2] = byte(len(s) >> 16)
-			num[3] = byte(len(s) >> 24)
-			h.Write(num[:])
-			h.Write([]byte(s))
+		if e.fp == "" {
+			e.fp = index.ContentFingerprint(e.ix)
 		}
-		e.doc.Walk(func(id xmldoc.NodeID) bool {
-			n := e.doc.Node(id)
-			h.Write([]byte{byte(n.Kind)})
-			writeStr(n.Tag)
-			writeStr(n.Text)
-			num[0] = byte(len(n.Attrs))
-			h.Write(num[:1])
-			for _, a := range n.Attrs {
-				writeStr(a.Name)
-				writeStr(a.Value)
-			}
-			return true
-		})
-		e.fp = hex.EncodeToString(h.Sum(nil)[:16])
 	})
 	return e.fp
+}
+
+// SetFingerprint overrides the engine's fingerprint — the serving layer
+// installs the corpus entry's generation-stamped fingerprint so cache
+// keys derived through this engine carry the document's generation, not
+// just its content hash. Call before the engine is shared; the override
+// wins over (and suppresses) the lazy content hash.
+func (e *Engine) SetFingerprint(fp string) {
+	e.fp = fp
+	e.fpOnce.Do(func() {})
 }
 
 // CacheKey returns the canonical cache key for the request against a

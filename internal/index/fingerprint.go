@@ -1,0 +1,56 @@
+// Content fingerprinting. A fingerprint is a stable hash of everything
+// index-side that can change a search response: the document's full
+// node arena, the text pipeline configuration (stemming/stopwords
+// change tokenization and hence matching), and the active scorer. Both
+// the per-document engine (engine.Fingerprint) and the mutable corpus
+// registry (corpus.Entry) derive their cache-key identities from it, so
+// the hashing lives here — below both.
+package index
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/xmldoc"
+)
+
+// ContentFingerprint hashes the index's document together with its
+// pipeline and scorer configuration. Two indexes over byte-identical
+// documents with the same configuration share a fingerprint, so a
+// result cache survives an index rebuild or a process restart.
+//
+// The hash walks the node arena directly rather than a serialized XML
+// string: same content sensitivity, but no multi-megabyte allocation.
+// Every field is length- or kind-prefixed so distinct documents cannot
+// collide by concatenation.
+func ContentFingerprint(ix *Index) string {
+	h := sha256.New()
+	doc := ix.Document()
+	pipe := ix.Pipeline()
+	fmt.Fprintf(h, "pipe:stem=%t,stop=%t;scorer=%s;doc:",
+		pipe.Stem, pipe.DropStopwords, ix.ScorerName())
+	var num [4]byte
+	writeStr := func(s string) {
+		num[0] = byte(len(s))
+		num[1] = byte(len(s) >> 8)
+		num[2] = byte(len(s) >> 16)
+		num[3] = byte(len(s) >> 24)
+		h.Write(num[:])
+		h.Write([]byte(s))
+	}
+	doc.Walk(func(id xmldoc.NodeID) bool {
+		n := doc.Node(id)
+		h.Write([]byte{byte(n.Kind)})
+		writeStr(n.Tag)
+		writeStr(n.Text)
+		num[0] = byte(len(n.Attrs))
+		h.Write(num[:1])
+		for _, a := range n.Attrs {
+			writeStr(a.Name)
+			writeStr(a.Value)
+		}
+		return true
+	})
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

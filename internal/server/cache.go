@@ -51,13 +51,24 @@ type CacheStats struct {
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
 	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Capacity  int   `json:"capacity"`
+	// Invalidations counts entries dropped by Invalidate — targeted
+	// eviction after a document mutation, as opposed to LRU pressure.
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Capacity      int   `json:"capacity"`
 }
+
+// TagAll marks an entry as depending on every document (fan-out
+// searches): Invalidate for any tag also drops entries tagged TagAll.
+const TagAll = "*"
 
 type cacheEntry struct {
 	key string
 	val any
+	// tags name the documents this entry's result depends on; a
+	// mutation of any of them invalidates the entry. Nil entries are
+	// untaggable (legacy Do path) and only age out by LRU.
+	tags []string
 }
 
 // flight is one in-progress fill: followers wait on done, then read
@@ -78,8 +89,11 @@ type ResultCache struct {
 	ll     *list.List // front = most recently used
 	items  map[string]*list.Element
 	flight map[string]*flight
+	// tagged is the reverse tag index: tag -> set of resident keys. It
+	// makes Invalidate O(entries dropped), not O(cache size).
+	tagged map[string]map[string]struct{}
 
-	hits, misses, coalesced, evictions int64
+	hits, misses, coalesced, evictions, invalidations int64
 }
 
 // NewResultCache returns a cache holding up to capacity entries
@@ -93,15 +107,24 @@ func NewResultCache(capacity int) *ResultCache {
 		ll:     list.New(),
 		items:  make(map[string]*list.Element),
 		flight: make(map[string]*flight),
+		tagged: make(map[string]map[string]struct{}),
 	}
 }
 
 // Do returns the cached value for key, or executes fill (once across
-// all concurrent callers of the same key) and caches its result.
+// all concurrent callers of the same key) and caches its result with
+// no tags (the entry only ages out by LRU; see DoTagged).
 // Errors are returned to the leader and any followers already waiting,
 // but never cached. A follower abandons the wait when ctx is done and
 // returns ctx's error.
 func (c *ResultCache) Do(ctx context.Context, key string, fill func() (any, error)) (any, Outcome, error) {
+	return c.DoTagged(ctx, key, nil, fill)
+}
+
+// DoTagged is Do with document tags: a successfully filled entry is
+// registered under each tag, and a later Invalidate of any of those
+// tags (or of any tag at all, for entries tagged TagAll) drops it.
+func (c *ResultCache) DoTagged(ctx context.Context, key string, tags []string, fill func() (any, error)) (any, Outcome, error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
@@ -140,7 +163,7 @@ func (c *ResultCache) Do(ctx context.Context, key string, fill func() (any, erro
 		c.mu.Lock()
 		delete(c.flight, key)
 		if err == nil {
-			c.putLocked(key, val)
+			c.putLocked(key, val, tags)
 		}
 		c.mu.Unlock()
 		fl.val, fl.err = val, err
@@ -163,19 +186,81 @@ func (c *ResultCache) Get(key string) (any, bool) {
 }
 
 // putLocked inserts or refreshes key; callers hold c.mu.
-func (c *ResultCache) putLocked(key string, val any) {
+func (c *ResultCache) putLocked(key string, val any, tags []string) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		c.untagLocked(e)
+		e.val = val
+		e.tags = tags
+		c.tagLocked(e)
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	e := &cacheEntry{key: key, val: val, tags: tags}
+	c.items[key] = c.ll.PushFront(e)
+	c.tagLocked(e)
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.items, back.Value.(*cacheEntry).key)
+		victim := back.Value.(*cacheEntry)
+		c.untagLocked(victim)
+		delete(c.items, victim.key)
 		c.evictions++
 	}
+}
+
+// tagLocked registers e under each of its tags; callers hold c.mu.
+func (c *ResultCache) tagLocked(e *cacheEntry) {
+	for _, t := range e.tags {
+		set, ok := c.tagged[t]
+		if !ok {
+			set = make(map[string]struct{})
+			c.tagged[t] = set
+		}
+		set[e.key] = struct{}{}
+	}
+}
+
+// untagLocked removes e from the tag index; callers hold c.mu.
+func (c *ResultCache) untagLocked(e *cacheEntry) {
+	for _, t := range e.tags {
+		set := c.tagged[t]
+		delete(set, e.key)
+		if len(set) == 0 {
+			delete(c.tagged, t)
+		}
+	}
+}
+
+// Invalidate drops every entry tagged with any of the given document
+// tags — plus every entry tagged TagAll (fan-out results depend on the
+// whole registry) — and returns the number of entries dropped. Entries
+// for untouched documents are left alone: this is the targeted,
+// generation-precise eviction a document mutation triggers. In-flight
+// fills are unaffected; their keys carry the old generation-stamped
+// fingerprint, so once stored they can never be read by requests keyed
+// against the new snapshot.
+func (c *ResultCache) Invalidate(tags ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make(map[string]struct{})
+	for _, t := range append(tags, TagAll) {
+		for k := range c.tagged[t] {
+			keys[k] = struct{}{}
+		}
+	}
+	for k := range keys {
+		el, ok := c.items[k]
+		if !ok {
+			continue
+		}
+		e := el.Value.(*cacheEntry)
+		c.untagLocked(e)
+		c.ll.Remove(el)
+		delete(c.items, k)
+		c.invalidations++
+	}
+	return len(keys)
 }
 
 // Len returns the number of cached entries.
@@ -191,6 +276,7 @@ func (c *ResultCache) Purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
+	c.tagged = make(map[string]map[string]struct{})
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -198,11 +284,12 @@ func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		Capacity:  c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Coalesced:     c.coalesced,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		Capacity:      c.cap,
 	}
 }

@@ -70,7 +70,7 @@ func TestCacheEviction(t *testing.T) {
 
 	// Refreshing an existing key must not grow the cache.
 	c.mu.Lock()
-	c.putLocked("a", "a2")
+	c.putLocked("a", "a2", nil)
 	c.mu.Unlock()
 	if v, _ := c.Get("a"); v != "a2" || c.Len() != 2 {
 		t.Errorf("refresh: Get(a) = %v, Len = %d; want a2, 2", v, c.Len())

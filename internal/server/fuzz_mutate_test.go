@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzMutServer backs FuzzDocUpdate. It is distinct from fuzzServer:
+// this one is mutated on purpose, and FuzzSearchHandler's server must
+// stay immutable across iterations.
+var fuzzMutServer = sync.OnceValue(func() *Server {
+	s := New(Config{CacheSize: 16, MaxDocBytes: 8 << 10})
+	if err := s.AddXML("cars", carsXML); err != nil {
+		panic(err)
+	}
+	return s
+})
+
+// FuzzDocUpdate throws arbitrary names and bodies at PUT/DELETE
+// /docs/{name} and checks the mutation contract: no panics, always
+// well-formed JSON, and — the live-corpus invariant — a rejected
+// mutation (malformed XML, invalid name, delete-of-missing, oversized
+// body) leaves the corpus generation and the cache invalidation
+// counter exactly where they were. Applied mutations advance the
+// generation by exactly one. Successfully PUT non-seed names are
+// deleted again afterwards so a long fuzz run's memory stays bounded.
+func FuzzDocUpdate(f *testing.F) {
+	f.Add("newdoc", "<a><b>hi there</b></a>", false)
+	f.Add("cars", carsXML, false) // duplicate name: replace, not create
+	f.Add("bad", "<open><unclosed>", false)
+	f.Add("bad", "not xml at all", false)
+	f.Add("bad", "", false)
+	f.Add("missing", "", true) // delete of a name that is not there
+	f.Add("*", "<a/>", false)  // reserved fan-out name
+	f.Add("a/b", "<a/>", false)
+	f.Add("", "<a/>", false)
+	f.Add("big", strings.Repeat("<pad>aaaaaaaa</pad>", 1024), false) // > MaxDocBytes
+	f.Add("d\x00d", "<a/>", false)
+
+	f.Fuzz(func(t *testing.T, name, body string, del bool) {
+		s := fuzzMutServer()
+		preGen := s.Snapshot().Generation
+		preInv := s.Cache().Stats().Invalidations
+
+		method := http.MethodPut
+		var rd *strings.Reader
+		if del {
+			method = http.MethodDelete
+			rd = strings.NewReader("")
+		} else {
+			rd = strings.NewReader(body)
+		}
+		req := httptest.NewRequest(method, "/docs/"+url.PathEscape(name), rd)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req) // must not panic
+
+		resp := rec.Result()
+		data := rec.Body.Bytes()
+		if !json.Valid(data) && resp.StatusCode != http.StatusNotFound {
+			// the net/http mux answers its own plain-text 404 for routes
+			// like PUT /docs/ (empty name); everything we write is JSON
+			t.Fatalf("status %d: response is not valid JSON: %q (name %q)",
+				resp.StatusCode, data, name)
+		}
+
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusCreated:
+			var mr MutateResponse
+			if err := json.Unmarshal(data, &mr); err != nil {
+				t.Fatalf("2xx body does not decode as MutateResponse: %v (name %q)", err, name)
+			}
+			if mr.Gen != preGen+1 {
+				t.Fatalf("applied mutation moved generation %d -> %d, want +1 (name %q)",
+					preGen, mr.Gen, name)
+			}
+			if (resp.StatusCode == http.StatusCreated) != mr.Created {
+				t.Fatalf("status %d disagrees with created=%v (name %q)",
+					resp.StatusCode, mr.Created, name)
+			}
+			// Bound memory: drop any non-seed document we just created.
+			if !del && name != "cars" {
+				dreq := httptest.NewRequest(http.MethodDelete, "/docs/"+url.PathEscape(name), nil)
+				drec := httptest.NewRecorder()
+				s.Handler().ServeHTTP(drec, dreq)
+				if drec.Code != http.StatusOK {
+					t.Fatalf("cleanup DELETE %q = %d, want 200", name, drec.Code)
+				}
+			}
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusRequestEntityTooLarge:
+			// A refused mutation changes nothing.
+			if got := s.Snapshot().Generation; got != preGen {
+				t.Fatalf("status %d moved generation %d -> %d (name %q, del %v)",
+					resp.StatusCode, preGen, got, name, del)
+			}
+			if got := s.Cache().Stats().Invalidations; got != preInv {
+				t.Fatalf("status %d invalidated cache entries (%d -> %d) (name %q)",
+					resp.StatusCode, preInv, got, name)
+			}
+			if json.Valid(data) {
+				var er errorResponse
+				if err := json.Unmarshal(data, &er); err != nil || er.Error == "" || er.Kind == "" {
+					t.Fatalf("status %d: bad error body %q (name %q)", resp.StatusCode, data, name)
+				}
+				if er.Kind != "parse" && er.Kind != "not_found" {
+					t.Fatalf("status %d: unexpected error kind %q (name %q)", resp.StatusCode, er.Kind, name)
+				}
+			}
+		default:
+			t.Fatalf("unexpected status %d: %q (name %q, del %v)", resp.StatusCode, data, name, del)
+		}
+	})
+}

@@ -36,8 +36,24 @@ var twigOutcomes = []string{"joined", "shortcircuit"}
 // engine.SearchContext.
 var stageNames = []string{"analyze", "rewrite", "build", "execute", "rank"}
 
-// endpointNames is the HTTP endpoint label set.
-var endpointNames = []string{"search", "explain", "lint", "healthz", "statsz", "metrics"}
+// endpointNames is the HTTP endpoint label set ("docs" covers the
+// PUT/DELETE/GET document mutation surface, "watch" the long poll).
+var endpointNames = []string{"search", "explain", "lint", "docs", "watch", "healthz", "statsz", "metrics"}
+
+// mutationSeries enumerates the valid {op, outcome} combinations of
+// pimento_corpus_mutations_total: a put creates, replaces, or is
+// rejected; a delete applies or is rejected (including delete of a
+// missing name). Rejected mutations change no server state.
+var mutationSeries = [][2]string{
+	{"put", "created"}, {"put", "replaced"}, {"put", "rejected"},
+	{"delete", "applied"}, {"delete", "rejected"},
+}
+
+// cacheNames labels pimento_cache_invalidations_total. The analysis
+// cache is profile-keyed and document-independent, so document
+// mutations never invalidate it — the series is exposed (at zero) to
+// make that contract observable.
+var cacheNames = []string{"result", "analysis"}
 
 // errorClasses is the error-classification label set (see
 // classifySearchError and writeError). "overloaded" is a scheduler
@@ -73,6 +89,14 @@ type serverMetrics struct {
 	cacheEntries   *metrics.Gauge
 	cacheCapacity  *metrics.Gauge
 	docs           *metrics.Gauge
+
+	// Live-corpus series: mutation counters are bumped by the handlers;
+	// the invalidation counters and generation gauge are mirrored from
+	// their authoritative owners at scrape time.
+	mutations          map[[2]string]*metrics.Counter // by {op, outcome}
+	cacheInvalidations map[string]*metrics.Counter    // by cache name
+	corpusGeneration   *metrics.Gauge
+	watchSubscribers   *metrics.Gauge
 
 	// Analysis-cache mirrors (authoritative counters live in
 	// engine.AnalysisCache, synced at scrape like the result cache).
@@ -144,6 +168,22 @@ func newServerMetrics() *serverMetrics {
 		"Result-cache capacity in entries.", nil)
 	m.docs = reg.Gauge("pimento_docs",
 		"Documents registered.", nil)
+	m.mutations = make(map[[2]string]*metrics.Counter, len(mutationSeries))
+	for _, s := range mutationSeries {
+		m.mutations[s] = reg.Counter("pimento_corpus_mutations_total",
+			"Document mutations, by op (put, delete) and outcome (created, replaced, applied, rejected).",
+			metrics.Labels{"op": s[0], "outcome": s[1]})
+	}
+	m.cacheInvalidations = make(map[string]*metrics.Counter, len(cacheNames))
+	for _, c := range cacheNames {
+		m.cacheInvalidations[c] = reg.Counter("pimento_cache_invalidations_total",
+			"Cache entries dropped by targeted invalidation after a document mutation, by cache. The analysis cache is document-independent and never invalidated.",
+			metrics.Labels{"cache": c})
+	}
+	m.corpusGeneration = reg.Gauge("pimento_corpus_generation",
+		"Corpus generation: applied mutations since process start.", nil)
+	m.watchSubscribers = reg.Gauge("pimento_watch_subscribers",
+		"GET /watch long polls currently parked.", nil)
 	m.analysisRequests = make(map[string]*metrics.Counter, len(cacheOutcomes))
 	for _, o := range cacheOutcomes {
 		m.analysisRequests[o] = reg.Counter("pimento_analysis_cache_requests_total",
@@ -293,8 +333,10 @@ func (m *serverMetrics) recordPlanStats(stats []algebra.OpStats) {
 // ResultCache and engine.AnalysisCache (authoritative), document count
 // in the registry. Counter totals are monotone in the sources, so Store
 // is safe here.
-func (m *serverMetrics) syncGauges(docs int, cs CacheStats, as engine.AnalysisCacheStats, ss *sched.Stats) {
+func (m *serverMetrics) syncGauges(docs int, gen uint64, cs CacheStats, as engine.AnalysisCacheStats, ss *sched.Stats) {
 	m.docs.Set(int64(docs))
+	m.corpusGeneration.Set(int64(gen))
+	m.cacheInvalidations["result"].Store(cs.Invalidations)
 	m.cacheRequests["hit"].Store(cs.Hits)
 	m.cacheRequests["miss"].Store(cs.Misses)
 	m.cacheRequests["coalesced"].Store(cs.Coalesced)

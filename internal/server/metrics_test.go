@@ -161,6 +161,14 @@ func TestMetricsLabelLint(t *testing.T) {
 	}
 	post(t, ts, "/search", SearchRequest{Doc: "*", Keywords: "good condition", K: 3})
 	post(t, ts, "/search", SearchRequest{Doc: "missing-doc", Query: carsQuery})
+	// Mutations mint only static {op, outcome} series: hostile document
+	// names must stay out of the label space.
+	putDoc(t, ts, "weird-unique-name-gamma", carsXML)
+	putDoc(t, ts, "weird-unique-name-gamma", carsXML) // replaced
+	putDoc(t, ts, "rejected-doc", "<open><unclosed>") // parse-rejected
+	deleteDoc(t, ts, "weird-unique-name-gamma")
+	deleteDoc(t, ts, "never-registered-delta") // not_found-rejected
+	getWatch(t, ts.URL+"/watch?since=0&timeout_ms=0")
 
 	allowed := map[string]map[string][]string{
 		"endpoint": {"": endpointNames},
@@ -169,11 +177,16 @@ func TestMetricsLabelLint(t *testing.T) {
 			"":                               cacheOutcomes,
 			"pimento_twigjoin_queries_total": twigOutcomes,
 			"pimento_sched_admissions_total": admissionOutcomes,
+			"pimento_corpus_mutations_total": {"created", "replaced", "applied", "rejected"},
 		},
-		"op":    {"": opKinds},
+		"op": {
+			"":                               opKinds,
+			"pimento_corpus_mutations_total": {"put", "delete"},
+		},
 		"dir":   {"": answerDirs},
 		"stage": {"": stageNames},
 		"check": {"": analysis.DiagnosticIDs()},
+		"cache": {"": cacheNames},
 	}
 	for _, f := range scrape(t, ts) {
 		for _, s := range f.Samples {

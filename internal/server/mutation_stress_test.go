@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/xmark"
+)
+
+// TestMutationStress is the live-corpus race gate: concurrent searchers,
+// mutators and /watch long-pollers hammer one server — with some search
+// deadlines expiring mid-flight — and every 200 search response must be
+// byte-identical (modulo volatile timing fields) to a reference
+// execution against SOME reachable corpus state. The corpus only ever
+// holds known document versions, so the reachable states are
+// enumerable up front; a torn read — a response mixing two snapshots,
+// or a cache entry surviving its document's replacement — falls outside
+// the allowed set and fails. A search admitted before a swap completes
+// is expected to answer from the old snapshot: that old-state answer is
+// in the set by construction. Run under -race; that is the point.
+func TestMutationStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+
+	fluxA := xmark.GenerateSized(xmark.Config{Seed: 11}, 16*1024).XMLString()
+	fluxB := xmark.GenerateSized(xmark.Config{Seed: 12}, 16*1024).XMLString()
+	const ephemXML = `<dealer><car><description>ephemeral good condition spare</description><price>700</price></car></dealer>`
+
+	s := New(Config{CacheSize: 32})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := s.AddXML("stable", carsXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddXML("flux", fluxA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddXML("ephem", ephemXML); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := []SearchRequest{
+		{Doc: "stable", Query: carsQuery, Profile: carsProfile, K: 3},
+		{Doc: "flux", Keywords: "the", K: 5},
+		{Doc: "ephem", Keywords: "good", K: 3},
+		{Doc: "*", Keywords: "good condition", K: 4},
+	}
+
+	// Enumerate the reachable corpus states and collect, per probe, the
+	// set of allowed normalized payloads from fresh reference servers.
+	type state struct {
+		flux  string
+		ephem bool
+	}
+	states := []state{
+		{fluxA, true}, {fluxA, false}, {fluxB, true}, {fluxB, false},
+	}
+	allowed := make([]map[string]bool, len(probes))
+	for i := range allowed {
+		allowed[i] = make(map[string]bool)
+	}
+	for _, st := range states {
+		ref := New(Config{})
+		if err := ref.AddXML("stable", carsXML); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddXML("flux", st.flux); err != nil {
+			t.Fatal(err)
+		}
+		if st.ephem {
+			if err := ref.AddXML("ephem", ephemXML); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rts := httptest.NewServer(ref.Handler())
+		for i, p := range probes {
+			p.NoCache = true
+			status, _, body := post(t, rts, "/search", p)
+			switch {
+			case status == http.StatusOK:
+				allowed[i][string(normalizePayload(t, body))] = true
+			case status == http.StatusNotFound && p.Doc == "ephem" && !st.ephem:
+				// deleted-state probe: 404 is the allowed answer
+			default:
+				t.Fatalf("reference state %+v probe %d: status %d, body %s", st, i, status, body)
+			}
+		}
+		rts.Close()
+		ref.Close()
+	}
+
+	before := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	errs := make(chan error, 256)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	var wg sync.WaitGroup
+
+	// Mutators: one flips flux between its two versions, one cycles
+	// ephem through put/delete.
+	const mutations = 40
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < mutations; i++ {
+			src := fluxA
+			if i%2 == 0 {
+				src = fluxB
+			}
+			if status, body := putDoc(t, ts, "flux", src); status != http.StatusOK {
+				report(fmt.Errorf("flux PUT %d: status %d body %s", i, status, body))
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < mutations; i++ {
+			if i%2 == 0 {
+				if status, body := deleteDoc(t, ts, "ephem"); status != http.StatusOK {
+					report(fmt.Errorf("ephem DELETE %d: status %d body %s", i, status, body))
+					return
+				}
+			} else {
+				if status, body := putDoc(t, ts, "ephem", ephemXML); status != http.StatusCreated {
+					report(fmt.Errorf("ephem PUT %d: status %d body %s", i, status, body))
+					return
+				}
+			}
+		}
+	}()
+
+	// Watch pollers: follow the feed with short long-polls; generations
+	// must be monotone along each poller's cursor.
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var cursor uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, wr := getWatch(t, fmt.Sprintf("%s/watch?since=%d&timeout_ms=40", ts.URL, cursor))
+				if status != http.StatusOK {
+					report(fmt.Errorf("watcher %d: status %d", p, status))
+					return
+				}
+				if wr.Gen < cursor {
+					report(fmt.Errorf("watcher %d: generation went backwards %d -> %d", p, cursor, wr.Gen))
+					return
+				}
+				for _, ev := range wr.Events {
+					if ev.Gen <= cursor && !wr.Resync {
+						report(fmt.Errorf("watcher %d: replayed event gen %d at cursor %d without resync", p, ev.Gen, cursor))
+						return
+					}
+				}
+				cursor = wr.Gen
+			}
+		}(p)
+	}
+
+	// Searchers: mixed probes, every 6th request with a 1ms deadline so
+	// contexts expire mid-flight against snapshots being swapped under
+	// them.
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pi := (w + i) % len(probes)
+				req := probes[pi]
+				timed := i%6 == 0 && req.Doc == "flux"
+				if timed {
+					req.TimeoutMS = 1
+				}
+				var buf bytes.Buffer
+				json.NewEncoder(&buf).Encode(&req)
+				resp, err := ts.Client().Post(ts.URL+"/search", "application/json", &buf)
+				if err != nil {
+					report(fmt.Errorf("searcher %d req %d: %v", w, i, err))
+					return
+				}
+				var body bytes.Buffer
+				body.ReadFrom(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					got := string(normalizePayload(t, body.Bytes()))
+					if !allowed[pi][got] {
+						report(fmt.Errorf("searcher %d req %d (probe %d): response matches NO reachable corpus state (torn read?):\n%s",
+							w, i, pi, got))
+						return
+					}
+				case http.StatusNotFound:
+					if req.Doc != "ephem" {
+						report(fmt.Errorf("searcher %d req %d (probe %d): unexpected 404: %s", w, i, pi, body.Bytes()))
+						return
+					}
+				case http.StatusGatewayTimeout:
+					if !timed {
+						report(fmt.Errorf("searcher %d req %d (probe %d): unexpected timeout", w, i, pi))
+						return
+					}
+				default:
+					report(fmt.Errorf("searcher %d req %d (probe %d): status %d body %s",
+						w, i, pi, resp.StatusCode, body.Bytes()))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Run until both mutators finish their quota, then stop the loops.
+	muteDone := make(chan struct{})
+	go func() {
+		// 40 flux re-puts + 20 ephem re-puts; 20 ephem deletes. (Seed
+		// AddXML calls don't count: only HTTP mutations are recorded.)
+		defer close(muteDone)
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			st := s.Snapshot()
+			if st.Mutation.Puts >= mutations+mutations/2 && st.Mutation.Deletes >= mutations/2 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		report(fmt.Errorf("mutators did not reach their quota in 60s"))
+	}()
+	<-muteDone
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Accounting: the corpus generation equals applied mutations (3
+	// seed adds + the two mutators' quotas), and the invalidation
+	// counter moved.
+	st := s.Snapshot()
+	wantGen := uint64(3 + mutations + mutations)
+	if st.Generation != wantGen {
+		t.Errorf("generation = %d, want %d", st.Generation, wantGen)
+	}
+	if s.Cache().Stats().Invalidations == 0 {
+		t.Error("stress run recorded no cache invalidations")
+	}
+	if st.WatchSubscribers != 0 {
+		t.Errorf("watch subscribers = %d after drain, want 0", st.WatchSubscribers)
+	}
+
+	// Goroutine-leak check, as in TestServerStress. The watch pollers go
+	// through http.DefaultClient (getWatch), so drop its idle
+	// connections too.
+	if tr, ok := ts.Client().Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before stress, %d after settle\n%s", before, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -5,25 +5,27 @@
 //
 // Endpoints:
 //
-//	POST /search  — personalized search over one document or a fan-out
-//	                across the whole registry (doc "" or "*")
-//	POST /explain — the Section 5 static analyses for (query, profile)
-//	GET  /healthz — liveness plus document count
-//	GET  /statsz  — request/cache/timeout counters
+//	POST   /search       — personalized search over one document or a
+//	                       fan-out across the whole registry (doc "" or "*")
+//	POST   /explain      — the Section 5 static analyses for (query, profile)
+//	PUT    /docs/{name}  — add or replace a document (live corpus mutation)
+//	DELETE /docs/{name}  — remove a document
+//	GET    /docs         — list documents + corpus generation
+//	GET    /watch        — long-poll feed of corpus mutations
+//	GET    /healthz      — liveness plus document count
+//	GET    /statsz       — request/cache/timeout counters
 //
 // See DESIGN.md §10 for the cache key anatomy, the cancellation
-// checkpoints and the single-flight semantics.
+// checkpoints and the single-flight semantics, and §15 for the
+// mutation protocol and generation-stamped invalidation.
 package server
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -96,6 +98,13 @@ type Config struct {
 	// (plan.ResolveParallelism): 0 means plan.DefaultParallelMinNodes.
 	// Ignored when the scheduler is disabled (legacy resolution).
 	ParallelMinNodes int
+	// MaxDocBytes bounds a PUT /docs/{name} body (default 64 MiB);
+	// larger uploads are rejected with 413 before parsing.
+	MaxDocBytes int64
+	// WatchBuffer is how many recent mutations GET /watch retains for
+	// since-cursor replay (default 256); clients whose cursor falls off
+	// the buffer are told to resync.
+	WatchBuffer int
 }
 
 // Server serves personalized XML search over a registry of documents.
@@ -103,8 +112,13 @@ type Server struct {
 	cfg Config
 	reg *corpus.Corpus
 
-	mu      sync.RWMutex
-	engines map[string]*engine.Engine // lazily layered over registry indexes
+	// mutMu serializes the commit half of every mutation (snapshot swap
+	// + cache invalidation + watch publish) so /watch sees generations
+	// in order and an invalidation can never interleave into another
+	// mutation's publish. Searches never take it: they read one atomic
+	// corpus snapshot instead.
+	mutMu sync.Mutex
+	watch *watchHub
 
 	cache    *ResultCache
 	analysis *engine.AnalysisCache
@@ -135,6 +149,16 @@ type serverStats struct {
 	// queue-full and 429 wait-bound sheds).
 	shed     atomic.Int64
 	inFlight atomic.Int64
+	// Mutation counters: applied puts, applied deletes, and refused
+	// mutations (bad name, parse failure, delete of a missing doc).
+	docsRequests  atomic.Int64
+	watchRequests atomic.Int64
+	mutPuts       atomic.Int64
+	mutDeletes    atomic.Int64
+	mutRejected   atomic.Int64
+	// watchSubscribers is the number of /watch long polls parked right
+	// now (gauge, not counter).
+	watchSubscribers atomic.Int64
 }
 
 // New returns an empty server; add documents with Add/AddXML.
@@ -148,10 +172,13 @@ func New(cfg Config) *Server {
 	if cfg.AnalysisCacheSize == 0 {
 		cfg.AnalysisCacheSize = 256
 	}
+	if cfg.MaxDocBytes == 0 {
+		cfg.MaxDocBytes = 64 << 20
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      corpus.New(cfg.Pipeline),
-		engines:  make(map[string]*engine.Engine),
+		watch:    newWatchHub(cfg.WatchBuffer),
 		cache:    NewResultCache(cfg.CacheSize),
 		analysis: engine.NewAnalysisCache(cfg.AnalysisCacheSize),
 		metrics:  newServerMetrics(),
@@ -178,6 +205,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /search", s.handleSearch)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("POST /lint", s.handleLint)
+	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
+	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
+	mux.HandleFunc("GET /docs", s.handleListDocs)
+	mux.HandleFunc("GET /watch", s.handleWatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -194,21 +225,13 @@ func (s *Server) Close() {
 	}
 }
 
-// Add indexes doc under name (replacing any previous document with that
-// name; its engine and any cached results keyed by its fingerprint
-// become unreachable and age out of the LRU). The engine wrapper and
-// its content fingerprint are built here, at registration time, so the
-// first search request never pays a document-sized hashing cost inside
-// its deadline.
+// Add indexes doc under name (replacing any previous document with
+// that name). It is the library-side spelling of PUT /docs/{name}: the
+// index and content fingerprint are built off-lock, the snapshot swap
+// invalidates exactly the cached results that depended on the name,
+// and /watch subscribers see the mutation.
 func (s *Server) Add(name string, doc *xmldoc.Document) {
-	s.reg.Add(name, doc)
-	ix, _ := s.reg.Index(name)
-	e := engine.FromParts(doc, ix)
-	e.Fingerprint()
-	e.UseAnalysisCache(s.analysis)
-	s.mu.Lock()
-	s.engines[name] = e
-	s.mu.Unlock()
+	s.applyPut(name, s.reg.Prepare(doc))
 }
 
 // AddXML parses src and adds it under name.
@@ -238,30 +261,16 @@ func (s *Server) AnalysisCache() *engine.AnalysisCache { return s.analysis }
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// engineFor returns the engine of a registered document. Add builds
-// engines (and their fingerprints) eagerly, so this is a pure lookup.
-func (s *Server) engineFor(name string) (*engine.Engine, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.engines[name]
-	return e, ok
-}
-
-// registryFingerprint combines every document's fingerprint into the
-// cache-key fingerprint of a fan-out search (sorted by name, so the
-// insertion order of documents does not split the cache).
-func (s *Server) registryFingerprint() (string, error) {
-	names := s.reg.Names()
-	sort.Strings(names)
-	h := sha256.New()
-	for _, n := range names {
-		e, ok := s.engineFor(n)
-		if !ok {
-			return "", fmt.Errorf("server: document %q vanished", n)
-		}
-		fmt.Fprintf(h, "%s=%s;", n, e.Fingerprint())
-	}
-	return "corpus:" + hex.EncodeToString(h.Sum(nil)[:16]), nil
+// engineForEntry layers a per-request engine over one snapshot entry.
+// The wrapper is cheap (the entry's index is reused, never rebuilt) and
+// carries the entry's generation-stamped fingerprint, so every cache
+// key derived through it is pinned to the snapshot the caller loaded —
+// a swap between key derivation and execution cannot mix generations.
+func (s *Server) engineForEntry(e *corpus.Entry) *engine.Engine {
+	eng := engine.FromParts(e.Document(), e.Index())
+	eng.SetFingerprint(e.Fingerprint())
+	eng.UseAnalysisCache(s.analysis)
+	return eng
 }
 
 // --- request / response wire types ---
@@ -389,7 +398,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	req, status, err := s.buildEngineRequest(&sreq)
+	// One atomic snapshot load serves the whole request: existence
+	// checks, cache-key fingerprints and execution all resolve against
+	// it, so a corpus swap landing mid-request can neither mix
+	// generations (a key from one snapshot filled by another's index)
+	// nor tear a fan-out (every per-document read sees one view).
+	snap := s.reg.Snapshot()
+
+	req, status, err := s.buildEngineRequest(snap, &sreq)
 	if err != nil {
 		kind := "parse"
 		if status == http.StatusNotFound {
@@ -402,7 +418,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, sreq.TimeoutMS)
 	defer cancel()
 
-	fill := func() (any, error) { return s.execute(ctx, &sreq, req) }
+	fill := func() (any, error) { return s.execute(ctx, snap, &sreq, req) }
 
 	var payload any
 	outcome := Miss
@@ -411,12 +427,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// so no X-Cache header is set.
 		payload, err = fill()
 	} else {
-		key, kerr := s.cacheKey(&sreq, req)
-		if kerr != nil {
-			s.writeError(w, http.StatusNotFound, "not_found", kerr)
-			return
-		}
-		payload, outcome, err = s.cache.Do(ctx, key, fill)
+		key, tags := s.cacheKey(snap, &sreq, req)
+		payload, outcome, err = s.cache.DoTagged(ctx, key, tags, fill)
 		if err == nil {
 			w.Header().Set("X-Cache", strings.ToUpper(outcome.String()))
 		}
@@ -443,8 +455,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 // buildEngineRequest validates and compiles the wire request into an
-// engine request. It returns the HTTP status to use on error.
-func (s *Server) buildEngineRequest(sreq *SearchRequest) (engine.Request, int, error) {
+// engine request, resolving document existence against the caller's
+// snapshot. It returns the HTTP status to use on error.
+func (s *Server) buildEngineRequest(snap *corpus.Snapshot, sreq *SearchRequest) (engine.Request, int, error) {
 	var req engine.Request
 	if (sreq.Query == "") == (sreq.Keywords == "") {
 		return req, http.StatusBadRequest, errors.New("exactly one of query or keywords must be set")
@@ -509,10 +522,10 @@ func (s *Server) buildEngineRequest(sreq *SearchRequest) (engine.Request, int, e
 	}
 
 	if !s.fanout(sreq) {
-		if _, ok := s.reg.Document(sreq.Doc); !ok {
+		if _, ok := snap.Entry(sreq.Doc); !ok {
 			return req, http.StatusNotFound, fmt.Errorf("unknown document %q", sreq.Doc)
 		}
-	} else if s.reg.Len() == 0 {
+	} else if snap.Len() == 0 {
 		return req, http.StatusNotFound, errors.New("no documents registered")
 	}
 	return req, 0, nil
@@ -523,34 +536,35 @@ func (s *Server) fanout(sreq *SearchRequest) bool {
 	return sreq.Doc == "" || sreq.Doc == "*"
 }
 
-// cacheKey derives the canonical result-cache key for the request. The
-// key carries the *resolved* parallelism — what the plan will actually
-// run given the document size and threshold — so requests that resolve
+// cacheKey derives the canonical result-cache key and invalidation
+// tags for the request, entirely from the caller's snapshot. The key
+// carries the *resolved* parallelism — what the plan will actually run
+// given the document size and threshold — so requests that resolve
 // identically share an entry and a threshold change can never serve a
-// stale one (see engine.Request.CacheKey).
-func (s *Server) cacheKey(sreq *SearchRequest, req engine.Request) (string, error) {
+// stale one (see engine.Request.CacheKey). Fingerprints are
+// generation-stamped (corpus.Entry.Fingerprint), so a key minted here
+// can never collide with one minted against any other generation of
+// the same document. buildEngineRequest already established the
+// document exists in this snapshot.
+func (s *Server) cacheKey(snap *corpus.Snapshot, sreq *SearchRequest, req engine.Request) (string, []string) {
 	if s.fanout(sreq) {
-		fp, err := s.registryFingerprint()
-		if err != nil {
-			return "", err
-		}
 		// Fan-out per-document plans always run sequentially (the
-		// fan-out itself is the parallelism).
-		return req.CacheKey(fp, 1), nil
+		// fan-out itself is the parallelism); the result depends on
+		// every document, so any mutation invalidates it (TagAll).
+		return req.CacheKey(snap.Fingerprint(), 1), []string{TagAll}
 	}
-	e, ok := s.engineFor(sreq.Doc)
-	if !ok {
-		return "", fmt.Errorf("unknown document %q", sreq.Doc)
-	}
-	return req.CacheKey(e.Fingerprint(), e.ResolvedParallelism(&req)), nil
+	entry, _ := snap.Entry(sreq.Doc)
+	e := s.engineForEntry(entry)
+	return req.CacheKey(e.Fingerprint(), e.ResolvedParallelism(&req)), []string{sreq.Doc}
 }
 
-// execute runs the search (single document or fan-out), records the
-// execution's plan and pipeline metrics, feeds the slow-query log, and
-// marshals the cacheable body. It runs at most once per cache key —
-// inside the single-flight fill — so cache hits neither re-record
-// operator metrics nor re-trip the slow-query log.
-func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Request) (*cachedSearch, error) {
+// execute runs the search (single document or fan-out) against the
+// caller's snapshot — the same one its cache key was derived from —
+// records the execution's plan and pipeline metrics, feeds the
+// slow-query log, and marshals the cacheable body. It runs at most
+// once per cache key — inside the single-flight fill — so cache hits
+// neither re-record operator metrics nor re-trip the slow-query log.
+func (s *Server) execute(ctx context.Context, snap *corpus.Snapshot, sreq *SearchRequest, req engine.Request) (*cachedSearch, error) {
 	// Admission happens here — inside the single-flight fill — so cache
 	// hits and coalesced followers never occupy a slot; only work that
 	// will actually execute competes for the pool.
@@ -567,7 +581,7 @@ func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Re
 		if sreq.Twig || sreq.Literal || sreq.Access != "" {
 			return nil, &badRequestError{errors.New("twig, literal and access are single-document options")}
 		}
-		resp, err := s.reg.SearchContext(ctx, req.Query, req.Profile, req.K, req.Strategy)
+		resp, err := snap.SearchContext(ctx, req.Query, req.Profile, req.K, req.Strategy)
 		if err != nil {
 			return nil, err
 		}
@@ -593,11 +607,11 @@ func (s *Server) execute(ctx context.Context, sreq *SearchRequest, req engine.Re
 			})
 		}
 	} else {
-		e, ok := s.engineFor(sreq.Doc)
+		entry, ok := snap.Entry(sreq.Doc)
 		if !ok {
 			return nil, &badRequestError{fmt.Errorf("unknown document %q", sreq.Doc)}
 		}
-		resp, err := e.SearchContext(ctx, req)
+		resp, err := s.engineForEntry(entry).SearchContext(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -846,23 +860,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.pool.Stats()
 		ss = &st
 	}
-	s.metrics.syncGauges(s.reg.Len(), s.cache.Stats(), s.analysis.Stats(), ss)
+	snap := s.reg.Snapshot()
+	s.metrics.syncGauges(snap.Len(), snap.Generation(), s.cache.Stats(), s.analysis.Stats(), ss)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.reg.WritePrometheus(w)
 }
 
+// MutationStats is the /statsz mutation counter block.
+type MutationStats struct {
+	// Puts and Deletes count applied mutations; Rejected counts refused
+	// ones (bad name, parse failure, oversized body, delete of a
+	// missing document) — rejections change no state.
+	Puts     int64 `json:"puts"`
+	Deletes  int64 `json:"deletes"`
+	Rejected int64 `json:"rejected"`
+}
+
 // Statsz is the /statsz payload.
 type Statsz struct {
-	Docs      int              `json:"docs"`
-	Endpoints map[string]int64 `json:"endpoints"`
-	Errors4xx int64            `json:"errors_4xx"`
-	Errors5xx int64            `json:"errors_5xx"`
-	Timeouts  int64            `json:"timeouts"`
-	Canceled  int64            `json:"canceled"`
+	Docs int `json:"docs"`
+	// Generation is the corpus generation: the total number of applied
+	// mutations since the process started.
+	Generation uint64           `json:"generation"`
+	Endpoints  map[string]int64 `json:"endpoints"`
+	Errors4xx  int64            `json:"errors_4xx"`
+	Errors5xx  int64            `json:"errors_5xx"`
+	Timeouts   int64            `json:"timeouts"`
+	Canceled   int64            `json:"canceled"`
 	// Shed counts searches the admission scheduler refused (503/429).
-	Shed     int64      `json:"shed"`
-	InFlight int64      `json:"in_flight"`
-	Cache    CacheStats `json:"cache"`
+	Shed     int64         `json:"shed"`
+	InFlight int64         `json:"in_flight"`
+	Mutation MutationStats `json:"mutations"`
+	// WatchSubscribers is the number of /watch long polls parked now.
+	WatchSubscribers int64      `json:"watch_subscribers"`
+	Cache            CacheStats `json:"cache"`
 	// Analysis is the shared analysis-verdict cache's counter block.
 	Analysis engine.AnalysisCacheStats `json:"analysis"`
 	// Sched is the admission scheduler's counter block; nil when the
@@ -884,12 +915,16 @@ func (s *Server) Snapshot() Statsz {
 		st := s.pool.Stats()
 		ss = &st
 	}
+	snap := s.reg.Snapshot()
 	return Statsz{
-		Docs: s.reg.Len(),
+		Docs:       snap.Len(),
+		Generation: snap.Generation(),
 		Endpoints: map[string]int64{
 			"search":  s.stats.searchRequests.Load(),
 			"explain": s.stats.explainRequests.Load(),
 			"lint":    s.stats.lintRequests.Load(),
+			"docs":    s.stats.docsRequests.Load(),
+			"watch":   s.stats.watchRequests.Load(),
 			"healthz": s.stats.healthRequests.Load(),
 			"statsz":  s.stats.statsRequests.Load(),
 			"metrics": s.stats.metricsRequests.Load(),
@@ -900,9 +935,15 @@ func (s *Server) Snapshot() Statsz {
 		Canceled:  s.stats.canceled.Load(),
 		Shed:      s.stats.shed.Load(),
 		InFlight:  s.stats.inFlight.Load(),
-		Cache:     s.cache.Stats(),
-		Analysis:  s.analysis.Stats(),
-		Sched:     ss,
+		Mutation: MutationStats{
+			Puts:     s.stats.mutPuts.Load(),
+			Deletes:  s.stats.mutDeletes.Load(),
+			Rejected: s.stats.mutRejected.Load(),
+		},
+		WatchSubscribers: s.stats.watchSubscribers.Load(),
+		Cache:            s.cache.Stats(),
+		Analysis:         s.analysis.Stats(),
+		Sched:            ss,
 	}
 }
 

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func getWatch(t testing.TB, url string) (int, WatchResponse) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var wr WatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+			t.Fatalf("bad watch response: %v", err)
+		}
+	}
+	return resp.StatusCode, wr
+}
+
+func TestWatchReplaysAndLongPolls(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // Adds publish gens 1 (cars), 2 (xmark)
+
+	// A cursor at 0 replays the buffered history immediately.
+	status, wr := getWatch(t, ts.URL+"/watch?since=0")
+	if status != http.StatusOK || len(wr.Events) != 2 || wr.Gen != 2 || wr.Resync {
+		t.Fatalf("replay = %d %+v, want 2 events at gen 2", status, wr)
+	}
+	if wr.Events[0] != (WatchEvent{Gen: 1, Op: "put", Doc: "cars"}) ||
+		wr.Events[1] != (WatchEvent{Gen: 2, Op: "put", Doc: "xmark"}) {
+		t.Fatalf("replay events = %+v", wr.Events)
+	}
+
+	// A current cursor with timeout_ms=0 returns immediately and empty.
+	if status, wr = getWatch(t, ts.URL+"/watch?since=2&timeout_ms=0"); len(wr.Events) != 0 || wr.Gen != 2 {
+		t.Fatalf("empty poll = %d %+v", status, wr)
+	}
+
+	// A parked long poll is woken by a mutation.
+	type polled struct {
+		status int
+		wr     WatchResponse
+	}
+	done := make(chan polled, 1)
+	go func() {
+		st, w := getWatch(t, ts.URL+"/watch?since=2&timeout_ms=5000")
+		done <- polled{st, w}
+	}()
+	// Let the poller park, then mutate.
+	time.Sleep(50 * time.Millisecond)
+	putDoc(t, ts, "late", carsXML)
+	select {
+	case p := <-done:
+		if p.status != http.StatusOK || len(p.wr.Events) != 1 || p.wr.Events[0].Doc != "late" || p.wr.Events[0].Gen != 3 {
+			t.Fatalf("woken poll = %d %+v", p.status, p.wr)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("long poll was not woken by the PUT")
+	}
+
+	// Deletes are events too.
+	deleteDoc(t, ts, "late")
+	if _, wr = getWatch(t, ts.URL+"/watch?since=3&timeout_ms=0"); len(wr.Events) != 1 || wr.Events[0].Op != "delete" {
+		t.Fatalf("delete event = %+v", wr)
+	}
+
+	// Malformed parameters are 400s.
+	if status, _ = getWatch(t, ts.URL+"/watch?since=banana"); status != http.StatusBadRequest {
+		t.Fatalf("bad since = %d, want 400", status)
+	}
+	if status, _ = getWatch(t, ts.URL+"/watch?timeout_ms=-5"); status != http.StatusBadRequest {
+		t.Fatalf("bad timeout_ms = %d, want 400", status)
+	}
+}
+
+// TestWatchResync: a cursor that has fallen off the bounded buffer is
+// told to resync rather than handed a silently gapped delta.
+func TestWatchResync(t *testing.T) {
+	s := New(Config{WatchBuffer: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 8; i++ {
+		putDoc(t, ts, fmt.Sprintf("doc%d", i), carsXML)
+	}
+	// Cursor 1 predates the 4-event window (gens 5..8 retained).
+	status, wr := getWatch(t, ts.URL+"/watch?since=1")
+	if status != http.StatusOK || !wr.Resync {
+		t.Fatalf("stale cursor = %d %+v, want resync=true", status, wr)
+	}
+	if wr.Gen != 8 || len(wr.Events) != 4 {
+		t.Fatalf("resync payload = %+v, want 4 retained events at gen 8", wr)
+	}
+	// The oldest retained cursor still replays without resync.
+	if _, wr = getWatch(t, ts.URL+"/watch?since=4"); wr.Resync || len(wr.Events) != 4 {
+		t.Fatalf("in-window cursor = %+v, want clean 4-event replay", wr)
+	}
+	// Statsz exposes the subscriber gauge (0 with no parked pollers).
+	if st := s.Snapshot(); st.WatchSubscribers != 0 {
+		t.Fatalf("watch subscribers = %d, want 0", st.WatchSubscribers)
+	}
+}
