@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke mutation-smoke bench-parallel bench-twigjoin bench-serving serving-smoke metrics-lint profile vet-profiles
+.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke mutation-smoke registry-smoke bench-parallel bench-twigjoin bench-serving serving-smoke metrics-lint profile vet-profiles
 
-ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles serving-smoke mutation-smoke
+ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles serving-smoke mutation-smoke registry-smoke
 
 fmt-check:
 	@files="$$(gofmt -l .)"; \
@@ -42,7 +42,7 @@ smoke:
 # a gate, not a target: new handlers and cache paths ship with tests.
 COVER_FLOOR := 80
 cover:
-	@for pkg in ./internal/server/ ./internal/plan/ ./internal/analysis/ ./internal/corpus/; do \
+	@for pkg in ./internal/server/ ./internal/plan/ ./internal/analysis/ ./internal/corpus/ ./internal/registry/; do \
 		pct="$$($(GO) test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"; \
 		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
 		ok="$$(awk "BEGIN{print ($$pct >= $(COVER_FLOOR)) ? 1 : 0}")"; \
@@ -111,6 +111,14 @@ mutation-smoke:
 		./internal/server/ -count=1
 	$(GO) test -run 'TestCorpusMutateEquivalence|TestSnapshotIsolation|TestGenerationStampedFingerprints' \
 		./internal/corpus/ -count=1
+
+# Fixed-seed registry gate for CI: the concurrent
+# register/search-by-name/delete walk under the race detector (every
+# response a clean, classified outcome; no goroutine leaks) plus the
+# degraded-fan-out and dedup contracts. See DESIGN.md §16.
+registry-smoke:
+	$(GO) test -race -run 'TestRegistryStress|TestFanoutDegraded|TestProfileDedupSharesVerdictAndCache' \
+		./internal/server/ -count=1
 
 # Profiles pimentod under a Fig. 7-style workload: starts the daemon
 # with pprof enabled on -debug-addr, drives repeated personalized

@@ -75,6 +75,8 @@ func main() {
 	parMinNodes := flag.Int("par-min-nodes", 0, "document node count above which parallelism 0 (auto) is granted intra-query workers (0 = built-in default from BENCH_parallel.json)")
 	maxDocBytes := flag.String("max-doc-bytes", "64M", "largest document body PUT /docs/{name} accepts (e.g. 512K, 64M)")
 	watchBuffer := flag.Int("watch-buffer", 256, "mutations GET /watch retains for since-cursor replay")
+	shards := flag.Int("shards", 1, "consistent-hash partitions fan-out searches scatter over (<2 = unsharded)")
+	shardDeadlineFrac := flag.Float64("shard-deadline-frac", 0, "fraction of a request's remaining deadline granted to each fan-out shard, in (0,1] (0 = built-in default; shards past their budget degrade the response instead of failing it)")
 	flag.Parse()
 
 	if len(docs) == 0 && *xmarkSize == "" {
@@ -92,6 +94,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimentod: %v\n", err)
 		os.Exit(2)
 	}
+	if *shardDeadlineFrac < 0 || *shardDeadlineFrac > 1 {
+		fmt.Fprintf(os.Stderr, "pimentod: bad -shard-deadline-frac %v (want (0,1], or 0 for the default)\n", *shardDeadlineFrac)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Pipeline:           text.Pipeline{Stem: *stem, DropStopwords: *stopwords},
@@ -106,6 +112,8 @@ func main() {
 		ParallelMinNodes:   *parMinNodes,
 		MaxDocBytes:        int64(maxDoc),
 		WatchBuffer:        *watchBuffer,
+		Shards:             *shards,
+		ShardDeadlineFrac:  *shardDeadlineFrac,
 	})
 	defer srv.Close()
 

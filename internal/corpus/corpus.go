@@ -366,25 +366,13 @@ func (s *Snapshot) SearchContext(ctx context.Context, q *tpq.Query, prof *profil
 	}
 	start := time.Now()
 
-	encoded := q
-	var applied []string
-	if prof != nil {
-		if rep := analysis.DetectAmbiguityPrioritized(prof.VORs); rep.Ambiguous {
-			return nil, fmt.Errorf("corpus: ambiguous ordering rules: %s", rep.Suggestion)
-		}
-		var err error
-		encoded, applied, err = analysis.EncodeFlock(prof.SRs, q)
-		if err != nil {
-			return nil, err
-		}
+	encoded, applied, err := s.encodeForSearch(q, prof)
+	if err != nil {
+		return nil, err
 	}
 
 	names := s.names
 
-	type docHit struct {
-		doc string
-		a   algebra.Answer
-	}
 	var (
 		hitMu  sync.Mutex
 		hits   []docHit
@@ -462,6 +450,35 @@ func (s *Snapshot) SearchContext(ctx context.Context, q *tpq.Query, prof *profil
 		return nil, runErr
 	}
 
+	return s.materialize(rankHits(hits, prof, k), applied, len(names), time.Since(start)), nil
+}
+
+// docHit is one pre-merge answer: an algebra answer tagged with the
+// document it came from.
+type docHit struct {
+	doc string
+	a   algebra.Answer
+}
+
+// encodeForSearch runs the document-independent half of a fan-out
+// once: the Section 5.2 ambiguity gate and the flock encoding of the
+// profile's scoping rules into a single query.
+func (s *Snapshot) encodeForSearch(q *tpq.Query, prof *profile.Profile) (*tpq.Query, []string, error) {
+	if prof == nil {
+		return q, nil, nil
+	}
+	if rep := analysis.DetectAmbiguityPrioritized(prof.VORs); rep.Ambiguous {
+		return nil, nil, fmt.Errorf("corpus: ambiguous ordering rules: %s", rep.Suggestion)
+	}
+	return analysis.EncodeFlock(prof.SRs, q)
+}
+
+// rankHits sorts hits under the profile's total rank order — rank,
+// then document name, then node, so the order is deterministic — and
+// truncates to the top k. Both the unsharded merge and every per-shard
+// local top k go through this one comparator; the sharded/unsharded
+// byte-equivalence depends on them agreeing.
+func rankHits(hits []docHit, prof *profile.Profile, k int) []docHit {
 	ranker := algebra.NewRanker(prof)
 	mode := algebra.ModeForProfile(prof)
 	sort.SliceStable(hits, func(i, j int) bool {
@@ -477,11 +494,16 @@ func (s *Snapshot) SearchContext(ctx context.Context, q *tpq.Query, prof *profil
 	if len(hits) > k {
 		hits = hits[:k]
 	}
+	return hits
+}
 
+// materialize resolves ranked hits into wire results (paths and
+// snippets) against this snapshot's documents.
+func (s *Snapshot) materialize(hits []docHit, applied []string, docsSearched int, elapsed time.Duration) *Response {
 	resp := &Response{
 		AppliedSRs:   applied,
-		Elapsed:      time.Since(start),
-		DocsSearched: len(names),
+		Elapsed:      elapsed,
+		DocsSearched: docsSearched,
 	}
 	for _, h := range hits {
 		doc := s.entries[h.doc].doc
@@ -494,7 +516,7 @@ func (s *Snapshot) SearchContext(ctx context.Context, q *tpq.Query, prof *profil
 			Snippet: clip(doc.TextContent(h.a.Node), 90),
 		})
 	}
-	return resp, nil
+	return resp
 }
 
 func clip(s string, n int) string {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/registry"
 	"repro/internal/sched"
 )
 
@@ -37,8 +38,9 @@ var twigOutcomes = []string{"joined", "shortcircuit"}
 var stageNames = []string{"analyze", "rewrite", "build", "execute", "rank"}
 
 // endpointNames is the HTTP endpoint label set ("docs" covers the
-// PUT/DELETE/GET document mutation surface, "watch" the long poll).
-var endpointNames = []string{"search", "explain", "lint", "docs", "watch", "healthz", "statsz", "metrics"}
+// PUT/DELETE/GET document mutation surface, "profiles" the named-
+// profile registry, "watch" the long poll).
+var endpointNames = []string{"search", "explain", "lint", "docs", "profiles", "watch", "healthz", "statsz", "metrics"}
 
 // mutationSeries enumerates the valid {op, outcome} combinations of
 // pimento_corpus_mutations_total: a put creates, replaces, or is
@@ -48,6 +50,28 @@ var mutationSeries = [][2]string{
 	{"put", "created"}, {"put", "replaced"}, {"put", "rejected"},
 	{"delete", "applied"}, {"delete", "rejected"},
 }
+
+// registrySeries enumerates the valid {op, outcome} combinations of
+// pimento_registry_requests_total: a put creates, replaces (rebinding
+// an existing name), or is rejected (vet-on-write veto, parse failure,
+// bad name); a get or delete finds its name or doesn't; a list always
+// succeeds.
+var registrySeries = [][2]string{
+	{"put", "created"}, {"put", "replaced"}, {"put", "rejected"},
+	{"get", "ok"}, {"get", "not_found"},
+	{"delete", "applied"}, {"delete", "not_found"},
+	{"list", "ok"},
+}
+
+// registryViews labels pimento_registry_profiles: registered names vs
+// the distinct deduplicated bodies behind them — the gap between the
+// two series is the content-fingerprint dedup savings.
+var registryViews = []string{"names", "distinct"}
+
+// fanoutOutcomes labels pimento_fanout_shards_total: shards that
+// completed within their carved deadline budget vs shards dropped from
+// a degraded merge.
+var fanoutOutcomes = []string{"ok", "timeout"}
 
 // cacheNames labels pimento_cache_invalidations_total. The analysis
 // cache is profile-keyed and document-independent, so document
@@ -97,6 +121,16 @@ type serverMetrics struct {
 	cacheInvalidations map[string]*metrics.Counter    // by cache name
 	corpusGeneration   *metrics.Gauge
 	watchSubscribers   *metrics.Gauge
+
+	// Profile-registry series: request counters are bumped by the
+	// handlers; the profile gauges are mirrored from the registry at
+	// scrape time.
+	registryRequests map[[2]string]*metrics.Counter // by {op, outcome}
+	registryProfiles map[string]*metrics.Gauge      // by view
+
+	// fanoutShards counts scatter-gather shard outcomes, bumped as each
+	// sharded fan-out completes.
+	fanoutShards map[string]*metrics.Counter // by outcome
 
 	// Analysis-cache mirrors (authoritative counters live in
 	// engine.AnalysisCache, synced at scrape like the result cache).
@@ -179,6 +213,24 @@ func newServerMetrics() *serverMetrics {
 		m.cacheInvalidations[c] = reg.Counter("pimento_cache_invalidations_total",
 			"Cache entries dropped by targeted invalidation after a document mutation, by cache. The analysis cache is document-independent and never invalidated.",
 			metrics.Labels{"cache": c})
+	}
+	m.registryRequests = make(map[[2]string]*metrics.Counter, len(registrySeries))
+	for _, s := range registrySeries {
+		m.registryRequests[s] = reg.Counter("pimento_registry_requests_total",
+			"Profile-registry requests, by op (put, get, delete, list) and outcome (created, replaced, rejected, ok, not_found, applied).",
+			metrics.Labels{"op": s[0], "outcome": s[1]})
+	}
+	m.registryProfiles = make(map[string]*metrics.Gauge, len(registryViews))
+	for _, v := range registryViews {
+		m.registryProfiles[v] = reg.Gauge("pimento_registry_profiles",
+			"Registered profiles, by view: bound names vs distinct deduplicated bodies.",
+			metrics.Labels{"view": v})
+	}
+	m.fanoutShards = make(map[string]*metrics.Counter, len(fanoutOutcomes))
+	for _, o := range fanoutOutcomes {
+		m.fanoutShards[o] = reg.Counter("pimento_fanout_shards_total",
+			"Scatter-gather fan-out shards, by outcome: completed within the carved deadline budget (ok) vs dropped from a degraded merge (timeout).",
+			metrics.Labels{"outcome": o})
 	}
 	m.corpusGeneration = reg.Gauge("pimento_corpus_generation",
 		"Corpus generation: applied mutations since process start.", nil)
@@ -333,9 +385,11 @@ func (m *serverMetrics) recordPlanStats(stats []algebra.OpStats) {
 // ResultCache and engine.AnalysisCache (authoritative), document count
 // in the registry. Counter totals are monotone in the sources, so Store
 // is safe here.
-func (m *serverMetrics) syncGauges(docs int, gen uint64, cs CacheStats, as engine.AnalysisCacheStats, ss *sched.Stats) {
+func (m *serverMetrics) syncGauges(docs int, gen uint64, cs CacheStats, as engine.AnalysisCacheStats, rs registry.Stats, ss *sched.Stats) {
 	m.docs.Set(int64(docs))
 	m.corpusGeneration.Set(int64(gen))
+	m.registryProfiles["names"].Set(int64(rs.Names))
+	m.registryProfiles["distinct"].Set(int64(rs.Distinct))
 	m.cacheInvalidations["result"].Store(cs.Invalidations)
 	m.cacheRequests["hit"].Store(cs.Hits)
 	m.cacheRequests["miss"].Store(cs.Misses)

@@ -169,6 +169,16 @@ func TestMetricsLabelLint(t *testing.T) {
 	deleteDoc(t, ts, "weird-unique-name-gamma")
 	deleteDoc(t, ts, "never-registered-delta") // not_found-rejected
 	getWatch(t, ts.URL+"/watch?since=0&timeout_ms=0")
+	// Profile registrations mint only static {op, outcome} series too:
+	// hostile profile names and bodies stay out of the label space.
+	putProfile(t, ts, "weird-profile-name-epsilon", carsProfile)
+	putProfile(t, ts, "weird-profile-name-epsilon", carsProfile) // replaced
+	putProfile(t, ts, "ambiguous-profile", ambiguousProfile)     // vet-rejected
+	getProfile(t, ts, "weird-profile-name-epsilon")
+	getProfile(t, ts, "no-such-profile-zeta") // not_found
+	deleteProfile(t, ts, "weird-profile-name-epsilon")
+	deleteProfile(t, ts, "never-registered-eta") // not_found
+	get(t, ts, "/profiles")
 
 	allowed := map[string]map[string][]string{
 		"endpoint": {"": endpointNames},
@@ -178,15 +188,21 @@ func TestMetricsLabelLint(t *testing.T) {
 			"pimento_twigjoin_queries_total": twigOutcomes,
 			"pimento_sched_admissions_total": admissionOutcomes,
 			"pimento_corpus_mutations_total": {"created", "replaced", "applied", "rejected"},
+			"pimento_registry_requests_total": {
+				"created", "replaced", "rejected", "ok", "not_found", "applied",
+			},
+			"pimento_fanout_shards_total": fanoutOutcomes,
 		},
 		"op": {
-			"":                               opKinds,
-			"pimento_corpus_mutations_total": {"put", "delete"},
+			"":                                opKinds,
+			"pimento_corpus_mutations_total":  {"put", "delete"},
+			"pimento_registry_requests_total": {"put", "get", "delete", "list"},
 		},
 		"dir":   {"": answerDirs},
 		"stage": {"": stageNames},
 		"check": {"": analysis.DiagnosticIDs()},
 		"cache": {"": cacheNames},
+		"view":  {"": registryViews},
 	}
 	for _, f := range scrape(t, ts) {
 		for _, s := range f.Samples {

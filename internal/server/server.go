@@ -38,6 +38,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/profile"
+	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/text"
 	"repro/internal/tpq"
@@ -105,6 +106,17 @@ type Config struct {
 	// since-cursor replay (default 256); clients whose cursor falls off
 	// the buffer are told to resync.
 	WatchBuffer int
+	// Shards is the number of consistent-hash partitions fan-out
+	// searches scatter over; values below 2 keep the unsharded fan-out.
+	// Sharded and unsharded fan-outs return byte-identical bodies when
+	// no shard degrades (pinned by TestFanoutShardedDifferential).
+	Shards int
+	// ShardDeadlineFrac is the fraction of a request's remaining
+	// deadline each shard is granted (0 means
+	// corpus.DefaultShardDeadlineFrac). A shard that exhausts its budget
+	// while the request is still alive is dropped and reported in the
+	// response's degraded fields instead of failing the whole fan-out.
+	ShardDeadlineFrac float64
 }
 
 // Server serves personalized XML search over a registry of documents.
@@ -122,7 +134,13 @@ type Server struct {
 
 	cache    *ResultCache
 	analysis *engine.AnalysisCache
+	// profiles is the named-profile store: fingerprint-deduplicated,
+	// vetted at registration through the shared analysis cache.
+	profiles *registry.Registry
 	mux      *http.ServeMux
+	// shardStart is corpus.ShardOptions.ShardStart for fan-out scatter:
+	// nil in production, injected by tests to simulate a slow shard.
+	shardStart func(shard int)
 	// pool is the admission scheduler; nil when Config.PoolWorkers is -1
 	// (legacy mode: unbounded concurrent executions).
 	pool *sched.Pool
@@ -156,6 +174,17 @@ type serverStats struct {
 	mutPuts       atomic.Int64
 	mutDeletes    atomic.Int64
 	mutRejected   atomic.Int64
+	// Profile-registry counters: applied puts/deletes and vetoed
+	// registrations (vet-on-write rejections change no state).
+	profilesRequests atomic.Int64
+	profilePuts      atomic.Int64
+	profileDeletes   atomic.Int64
+	profileRejected  atomic.Int64
+	// Fan-out scatter counters: shards that completed, shards dropped
+	// for blowing their deadline budget, and responses served degraded.
+	fanoutShardsOK       atomic.Int64
+	fanoutShardsTimedOut atomic.Int64
+	fanoutDegraded       atomic.Int64
 	// watchSubscribers is the number of /watch long polls parked right
 	// now (gauge, not counter).
 	watchSubscribers atomic.Int64
@@ -183,6 +212,16 @@ func New(cfg Config) *Server {
 		analysis: engine.NewAnalysisCache(cfg.AnalysisCacheSize),
 		metrics:  newServerMetrics(),
 	}
+	// Registration vets through the shared analysis cache: the verdict
+	// filled at PUT /profiles/{name} is the one /search and /lint hit,
+	// so N names over one body cost exactly one analysis fill.
+	s.profiles = registry.New(func(ctx context.Context, p *profile.Profile) ([]analysis.Diagnostic, error) {
+		pv, err := s.analysis.ProfileVerdict(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return pv.Diags, nil
+	})
 	if cfg.PoolWorkers >= 0 {
 		s.pool = sched.New(sched.Config{
 			Workers: cfg.PoolWorkers,
@@ -205,6 +244,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /search", s.handleSearch)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("POST /lint", s.handleLint)
+	mux.HandleFunc("PUT /profiles/{name}", s.handlePutProfile)
+	mux.HandleFunc("GET /profiles/{name}", s.handleGetProfile)
+	mux.HandleFunc("DELETE /profiles/{name}", s.handleDeleteProfile)
+	mux.HandleFunc("GET /profiles", s.handleListProfiles)
 	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
 	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
 	mux.HandleFunc("GET /docs", s.handleListDocs)
@@ -258,6 +301,9 @@ func (s *Server) Pool() *sched.Pool { return s.pool }
 // and tests).
 func (s *Server) AnalysisCache() *engine.AnalysisCache { return s.analysis }
 
+// Profiles exposes the named-profile registry (for stats and tests).
+func (s *Server) Profiles() *registry.Registry { return s.profiles }
+
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -286,7 +332,13 @@ type SearchRequest struct {
 	Keywords string `json:"keywords"`
 	// Profile is the profile DSL source ("" disables personalization).
 	Profile string `json:"profile"`
-	K       int    `json:"k"`
+	// ProfileName references a profile registered via
+	// PUT /profiles/{name}; mutually exclusive with the inline Profile.
+	// The resolved profile's *content* — not the name — feeds the
+	// result-cache key, so two names over one body share cache entries
+	// and a rename can never alias them.
+	ProfileName string `json:"profile_name"`
+	K           int    `json:"k"`
 	// Strategy: "" (push) | naive | interleave | interleave-sort |
 	// push | push-deep.
 	Strategy    string `json:"strategy"`
@@ -335,6 +387,12 @@ type SearchBody struct {
 	Parallelism  int `json:"parallelism,omitempty"`
 	TotalPruned  int `json:"total_pruned,omitempty"`
 	DocsSearched int `json:"docs_searched"`
+	// Degraded is true when a sharded fan-out dropped shards that blew
+	// their per-shard deadline budget; TimedOutShards lists them and
+	// Results covers only the survivors. Degraded payloads are never
+	// cached, so a retry gets a fresh chance at a complete answer.
+	Degraded       bool  `json:"degraded,omitempty"`
+	TimedOutShards []int `json:"timed_out_shards,omitempty"`
 	// ExecUS is the wall time of the execution that produced these
 	// results, in microseconds.
 	ExecUS int64 `json:"exec_us"`
@@ -434,6 +492,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
+		// A degraded fan-out travels as an error so it is never cached;
+		// unwrap and serve it with 200. No X-Cache header: the cache was
+		// neither hit nor filled (coalesced followers receive the same
+		// error and retry as fresh leaders).
+		var unc *uncacheableError
+		if errors.As(err, &unc) {
+			payload, outcome, err = unc.cs, Miss, nil
+		}
+	}
+	if err != nil {
 		s.writeSearchError(w, err)
 		return
 	}
@@ -462,6 +530,15 @@ func (s *Server) buildEngineRequest(snap *corpus.Snapshot, sreq *SearchRequest) 
 	if (sreq.Query == "") == (sreq.Keywords == "") {
 		return req, http.StatusBadRequest, errors.New("exactly one of query or keywords must be set")
 	}
+	// Fan-out searches do not support the per-engine extras. Rejecting
+	// here — with the other 400s, before admission and single-flight —
+	// keeps malformed requests from occupying a pool slot or coalescing
+	// followers onto a guaranteed failure (regression:
+	// TestFanoutOptionsRejectedBeforeAdmission; the check used to live
+	// inside execute).
+	if s.fanout(sreq) && (sreq.Twig || sreq.Literal || sreq.Access != "") {
+		return req, http.StatusBadRequest, errors.New("twig, literal and access are single-document options")
+	}
 	if sreq.K < 0 {
 		return req, http.StatusBadRequest, fmt.Errorf("negative k %d", sreq.K)
 	}
@@ -486,11 +563,25 @@ func (s *Server) buildEngineRequest(snap *corpus.Snapshot, sreq *SearchRequest) 
 	if err != nil {
 		return req, http.StatusBadRequest, err
 	}
+	if sreq.Profile != "" && sreq.ProfileName != "" {
+		return req, http.StatusBadRequest, errors.New("profile and profile_name are mutually exclusive")
+	}
 	if sreq.Profile != "" {
 		req.Profile, err = profile.ParseProfile(sreq.Profile)
 		if err != nil {
 			return req, http.StatusBadRequest, err
 		}
+	}
+	if sreq.ProfileName != "" {
+		st, ok := s.profiles.Get(sreq.ProfileName)
+		if !ok {
+			return req, http.StatusNotFound, fmt.Errorf("unknown profile %q", sreq.ProfileName)
+		}
+		// The resolved body flows into the engine request exactly as an
+		// inline profile would, so the cache key (which folds the
+		// canonical profile) is automatically fingerprint-keyed: the name
+		// never reaches it.
+		req.Profile = st.Profile()
 	}
 	req.Strategy, err = parseStrategy(sreq.Strategy)
 	if err != nil {
@@ -577,22 +668,41 @@ func (s *Server) execute(ctx context.Context, snap *corpus.Snapshot, sreq *Searc
 	}
 	var body SearchBody
 	if s.fanout(sreq) {
-		// Fan-out searches do not support the per-engine extras.
-		if sreq.Twig || sreq.Literal || sreq.Access != "" {
-			return nil, &badRequestError{errors.New("twig, literal and access are single-document options")}
+		// buildEngineRequest already rejected the per-engine extras
+		// (twig/literal/access) before admission.
+		var resp *corpus.Response
+		if s.cfg.Shards > 1 {
+			sresp, serr := snap.SearchSharded(ctx, req.Query, req.Profile, req.K, req.Strategy,
+				corpus.ShardOptions{
+					Shards:       s.cfg.Shards,
+					DeadlineFrac: s.cfg.ShardDeadlineFrac,
+					ShardStart:   s.shardStart,
+				})
+			if serr != nil {
+				return nil, serr
+			}
+			s.recordFanout(sresp)
+			resp = &sresp.Response
+			body.Degraded = sresp.Degraded
+			body.TimedOutShards = sresp.TimedOutShards
+		} else {
+			var err error
+			resp, err = snap.SearchContext(ctx, req.Query, req.Profile, req.K, req.Strategy)
+			if err != nil {
+				return nil, err
+			}
 		}
-		resp, err := snap.SearchContext(ctx, req.Query, req.Profile, req.K, req.Strategy)
-		if err != nil {
-			return nil, err
-		}
+		degraded, timedOut := body.Degraded, body.TimedOutShards
 		body = SearchBody{
-			Results:      make([]SearchResult, 0, len(resp.Results)),
-			K:            resolveK(req.K),
-			Strategy:     req.Strategy.String(),
-			AppliedSRs:   resp.AppliedSRs,
-			Parallelism:  1,
-			DocsSearched: resp.DocsSearched,
-			ExecUS:       resp.Elapsed.Microseconds(),
+			Degraded:       degraded,
+			TimedOutShards: timedOut,
+			Results:        make([]SearchResult, 0, len(resp.Results)),
+			K:              resolveK(req.K),
+			Strategy:       req.Strategy.String(),
+			AppliedSRs:     resp.AppliedSRs,
+			Parallelism:    1,
+			DocsSearched:   resp.DocsSearched,
+			ExecUS:         resp.Elapsed.Microseconds(),
 		}
 		for _, res := range resp.Results {
 			body.Results = append(body.Results, SearchResult{
@@ -609,7 +719,12 @@ func (s *Server) execute(ctx context.Context, snap *corpus.Snapshot, sreq *Searc
 	} else {
 		entry, ok := snap.Entry(sreq.Doc)
 		if !ok {
-			return nil, &badRequestError{fmt.Errorf("unknown document %q", sreq.Doc)}
+			// Theoretically unreachable: buildEngineRequest verified the
+			// name against the same snapshot this execution resolves.
+			// Kept panic-free and classified as 404 — matching
+			// buildEngineRequest's status for the identical condition (it
+			// used to return 400 here; regression: TestExecuteUnknownDoc).
+			return nil, &notFoundError{fmt.Errorf("unknown document %q", sreq.Doc)}
 		}
 		resp, err := s.engineForEntry(entry).SearchContext(ctx, req)
 		if err != nil {
@@ -646,7 +761,28 @@ func (s *Server) execute(ctx context.Context, snap *corpus.Snapshot, sreq *Searc
 	if err != nil {
 		return nil, err
 	}
-	return &cachedSearch{body: b, storedAt: time.Now()}, nil
+	cs := &cachedSearch{body: b, storedAt: time.Now()}
+	if body.Degraded {
+		// A partial answer must not be memoized: carrying it out of the
+		// single-flight fill as an error keeps the cache empty (fill
+		// errors are never stored) while the handler unwraps the payload
+		// and serves it with 200.
+		return nil, &uncacheableError{cs: cs}
+	}
+	return cs, nil
+}
+
+// recordFanout folds one sharded scatter-gather's outcome into the
+// /statsz counters and the pimento_fanout_shards_total series.
+func (s *Server) recordFanout(sresp *corpus.ShardedResponse) {
+	healthy := sresp.ShardsRun - len(sresp.TimedOutShards)
+	s.stats.fanoutShardsOK.Add(int64(healthy))
+	s.metrics.fanoutShards["ok"].Add(int64(healthy))
+	if sresp.Degraded {
+		s.stats.fanoutShardsTimedOut.Add(int64(len(sresp.TimedOutShards)))
+		s.metrics.fanoutShards["timeout"].Add(int64(len(sresp.TimedOutShards)))
+		s.stats.fanoutDegraded.Add(1)
+	}
 }
 
 // querySource returns whichever query form the request carried, for
@@ -861,9 +997,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ss = &st
 	}
 	snap := s.reg.Snapshot()
-	s.metrics.syncGauges(snap.Len(), snap.Generation(), s.cache.Stats(), s.analysis.Stats(), ss)
+	s.metrics.syncGauges(snap.Len(), snap.Generation(), s.cache.Stats(), s.analysis.Stats(), s.profiles.Stats(), ss)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.reg.WritePrometheus(w)
+}
+
+// RegistryStats is the /statsz profile-registry counter block.
+type RegistryStats struct {
+	// Names is the number of registered profile names; Distinct the
+	// number of deduplicated bodies behind them (Names − Distinct is
+	// the dedup savings).
+	Names    int `json:"names"`
+	Distinct int `json:"distinct"`
+	// Puts and Deletes count applied registrations/unbindings; Rejected
+	// counts vet-on-write and parse refusals (which change no state).
+	Puts     int64 `json:"puts"`
+	Deletes  int64 `json:"deletes"`
+	Rejected int64 `json:"rejected"`
+}
+
+// FanoutStats is the /statsz sharded-fan-out counter block.
+type FanoutStats struct {
+	// Shards is the configured partition count (1 = unsharded fan-out).
+	Shards int `json:"shards"`
+	// ShardsOK counts shards that completed within their deadline
+	// budget; ShardsTimedOut counts shards dropped for blowing it.
+	ShardsOK       int64 `json:"shards_ok"`
+	ShardsTimedOut int64 `json:"shards_timed_out"`
+	// Degraded counts fan-out responses served partial.
+	Degraded int64 `json:"degraded"`
 }
 
 // MutationStats is the /statsz mutation counter block.
@@ -891,6 +1053,11 @@ type Statsz struct {
 	Shed     int64         `json:"shed"`
 	InFlight int64         `json:"in_flight"`
 	Mutation MutationStats `json:"mutations"`
+	// Registry is the named-profile store's counter block.
+	Registry RegistryStats `json:"registry"`
+	// Fanout reports the sharded scatter-gather counters; Shards is the
+	// configured partition count (1 = unsharded).
+	Fanout FanoutStats `json:"fanout"`
 	// WatchSubscribers is the number of /watch long polls parked now.
 	WatchSubscribers int64      `json:"watch_subscribers"`
 	Cache            CacheStats `json:"cache"`
@@ -920,14 +1087,15 @@ func (s *Server) Snapshot() Statsz {
 		Docs:       snap.Len(),
 		Generation: snap.Generation(),
 		Endpoints: map[string]int64{
-			"search":  s.stats.searchRequests.Load(),
-			"explain": s.stats.explainRequests.Load(),
-			"lint":    s.stats.lintRequests.Load(),
-			"docs":    s.stats.docsRequests.Load(),
-			"watch":   s.stats.watchRequests.Load(),
-			"healthz": s.stats.healthRequests.Load(),
-			"statsz":  s.stats.statsRequests.Load(),
-			"metrics": s.stats.metricsRequests.Load(),
+			"search":   s.stats.searchRequests.Load(),
+			"explain":  s.stats.explainRequests.Load(),
+			"lint":     s.stats.lintRequests.Load(),
+			"docs":     s.stats.docsRequests.Load(),
+			"profiles": s.stats.profilesRequests.Load(),
+			"watch":    s.stats.watchRequests.Load(),
+			"healthz":  s.stats.healthRequests.Load(),
+			"statsz":   s.stats.statsRequests.Load(),
+			"metrics":  s.stats.metricsRequests.Load(),
 		},
 		Errors4xx: s.stats.errors4xx.Load(),
 		Errors5xx: s.stats.errors5xx.Load(),
@@ -939,6 +1107,13 @@ func (s *Server) Snapshot() Statsz {
 			Puts:     s.stats.mutPuts.Load(),
 			Deletes:  s.stats.mutDeletes.Load(),
 			Rejected: s.stats.mutRejected.Load(),
+		},
+		Registry: s.registryStats(),
+		Fanout: FanoutStats{
+			Shards:         resolveShards(s.cfg.Shards),
+			ShardsOK:       s.stats.fanoutShardsOK.Load(),
+			ShardsTimedOut: s.stats.fanoutShardsTimedOut.Load(),
+			Degraded:       s.stats.fanoutDegraded.Load(),
 		},
 		WatchSubscribers: s.stats.watchSubscribers.Load(),
 		Cache:            s.cache.Stats(),
@@ -974,6 +1149,21 @@ type badRequestError struct{ err error }
 func (e *badRequestError) Error() string { return e.err.Error() }
 func (e *badRequestError) Unwrap() error { return e.err }
 
+// notFoundError marks an execution-time lookup miss that maps to 404 —
+// the same status buildEngineRequest gives the condition before
+// execution, so the two paths can never disagree.
+type notFoundError struct{ err error }
+
+func (e *notFoundError) Error() string { return e.err.Error() }
+func (e *notFoundError) Unwrap() error { return e.err }
+
+// uncacheableError smuggles a successful-but-degraded payload out of
+// the single-flight fill: fill errors are never cached, and the
+// handler unwraps the payload and serves it with 200.
+type uncacheableError struct{ cs *cachedSearch }
+
+func (e *uncacheableError) Error() string { return "degraded fan-out result (not cacheable)" }
+
 // classifySearchError maps an execution error onto its HTTP status and
 // error kind: deadline → 504, client cancel → 499 (nginx's
 // convention), client mistakes → 400, anything else the engine
@@ -981,7 +1171,10 @@ func (e *badRequestError) Unwrap() error { return e.err }
 // and /metrics agree on one mapping (regression:
 // TestErrorClassCounters).
 func classifySearchError(err error) (status int, kind string) {
-	var bad *badRequestError
+	var (
+		bad *badRequestError
+		nf  *notFoundError
+	)
 	switch {
 	case errors.Is(err, sched.ErrQueueFull):
 		// The admission queue is full: genuine overload, shed with 503
@@ -998,6 +1191,8 @@ func classifySearchError(err error) (status int, kind string) {
 		return 499, "canceled"
 	case errors.As(err, &bad):
 		return http.StatusBadRequest, "parse"
+	case errors.As(err, &nf):
+		return http.StatusNotFound, "not_found"
 	default:
 		return http.StatusInternalServerError, "engine"
 	}
@@ -1042,6 +1237,28 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.Encode(v)
+}
+
+// registryStats merges the registry's gauges with the server's
+// request counters into the /statsz block.
+func (s *Server) registryStats() RegistryStats {
+	rs := s.profiles.Stats()
+	return RegistryStats{
+		Names:    rs.Names,
+		Distinct: rs.Distinct,
+		Puts:     s.stats.profilePuts.Load(),
+		Deletes:  s.stats.profileDeletes.Load(),
+		Rejected: s.stats.profileRejected.Load(),
+	}
+}
+
+// resolveShards normalizes the configured shard count: anything below
+// 2 is the unsharded fan-out.
+func resolveShards(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return n
 }
 
 // resolveK mirrors the engine's K default.

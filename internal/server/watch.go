@@ -89,7 +89,15 @@ func (h *watchHub) since(gen uint64) (evs []WatchEvent, latest uint64, resync bo
 	h.lock()
 	defer h.unlock()
 	latest = h.gen
-	if gen >= latest {
+	if gen > latest {
+		// A cursor from the future — e.g. a client resuming against a
+		// restarted server whose generation counter reset — can never be
+		// satisfied by waiting: no publish will ever cover the gap below
+		// it. Tell the client to resync immediately instead of parking
+		// the poll until timeout (regression: TestWatchFutureCursor).
+		return nil, latest, true
+	}
+	if gen == latest {
 		return nil, latest, false
 	}
 	// Something changed past the cursor. If the oldest retained event is

@@ -108,3 +108,24 @@ func TestWatchResync(t *testing.T) {
 		t.Fatalf("watch subscribers = %d, want 0", st.WatchSubscribers)
 	}
 }
+
+// TestWatchFutureCursor: a since cursor beyond the latest generation —
+// e.g. a client resuming against a restarted server whose generation
+// counter reset — can never be satisfied by waiting, so the poll must
+// return resync=true immediately instead of parking until its timeout.
+func TestWatchFutureCursor(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // latest generation is 2
+
+	start := time.Now()
+	status, wr := getWatch(t, ts.URL+"/watch?since=999&timeout_ms=5000")
+	elapsed := time.Since(start)
+	if status != http.StatusOK {
+		t.Fatalf("future cursor = %d", status)
+	}
+	if !wr.Resync || wr.Gen != 2 || len(wr.Events) != 0 {
+		t.Fatalf("future cursor = %+v, want immediate resync at gen 2 with no events", wr)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("future cursor long-polled for %s instead of returning immediately", elapsed)
+	}
+}
