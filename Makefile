@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke mutation-smoke registry-smoke bench-parallel bench-twigjoin bench-serving serving-smoke metrics-lint profile vet-profiles
+.PHONY: ci fmt-check vet build test race smoke cover fuzz-smoke mutation-smoke registry-smoke bench-parallel bench-twigjoin bench-serving serving-smoke metrics-lint profile vet-profiles analyze analyze-build analyze-test analyze-baseline analyze-fix-list
 
-ci: fmt-check vet build test race smoke cover metrics-lint vet-profiles serving-smoke mutation-smoke registry-smoke
+ci: fmt-check vet build test race smoke cover metrics-lint analyze analyze-test vet-profiles serving-smoke mutation-smoke registry-smoke
 
 fmt-check:
 	@files="$$(gofmt -l .)"; \
@@ -14,8 +14,39 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$files"; exit 1; \
 	fi
 
-vet:
+# The invariant checker (tools/analyze, its own module). The binary is
+# rebuilt only when its sources change; go vet caches per-package
+# results against a hash of the binary, so a clean re-run is cheap.
+ANALYZE := tools/analyze/bin/pimento-analyze
+
+$(ANALYZE): $(shell find tools/analyze -name '*.go' -not -path '*/testdata/*') tools/analyze/go.mod
+	cd tools/analyze && $(GO) build -o bin/pimento-analyze ./cmd/pimento-analyze
+
+analyze-build: $(ANALYZE)
+
+# vet runs the standard analyzers AND the pimento suite over the main
+# module, the analyzer module itself, and every cmd/ main package.
+vet: $(ANALYZE)
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath $(ANALYZE)) ./...
+	cd tools/analyze && $(GO) vet ./...
+
+# The zero-finding gate: `go vet -vettool` relays pimento-analyze
+# findings as vet failures, so any unsuppressed violation fails ci.
+analyze: $(ANALYZE)
+	$(GO) vet -vettool=$(abspath $(ANALYZE)) ./...
+
+# The analyzer suite's own tests: analysistest fixtures per analyzer
+# plus the end-to-end vettool-protocol test over testdata/badmod.
+analyze-test:
+	cd tools/analyze && $(GO) test ./...
+
+# Audit mode: every finding as a markdown checklist, suppressions with
+# their reasons, exit 0 regardless — the fix-list generator.
+analyze-baseline: $(ANALYZE)
+	$(ANALYZE) -baseline ./...
+
+analyze-fix-list: analyze-baseline
 
 build:
 	$(GO) build ./...

@@ -94,6 +94,9 @@ func (c *CancelCheck) Err() error {
 // cooperatively-stopped chain could be mistaken for a completed one and
 // a truncated top k returned as a success.
 func ContextErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}

@@ -338,6 +338,7 @@ type Response struct {
 // independent), evaluates it against every document in parallel, and
 // merges the per-document top-k lists into the global top k.
 func (c *Corpus) Search(q *tpq.Query, prof *profile.Profile, k int, strat plan.Strategy) (*Response, error) {
+	//pimento:allow ctxbg context-free public entry point whose contract is run-to-completion; cancellable callers use SearchContext
 	return c.Snapshot().SearchContext(context.Background(), q, prof, k, strat)
 }
 

@@ -178,6 +178,7 @@ func (c *AnalysisCache) do(ctx context.Context, key string, fill func() any) (an
 	c.misses++
 	c.mu.Unlock()
 
+	//pimento:allow budgetedgo single-flight fill: at most one detached goroutine per missing key (bounded by the inflight map), so duplicate waiters share it instead of multiplying work
 	go func() {
 		call.val = fill()
 		c.mu.Lock()

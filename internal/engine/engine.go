@@ -165,6 +165,7 @@ type Response struct {
 // to resolve ambiguity with priorities before the profile is enforced)
 // or when its scoping rules have unresolvable conflict cycles.
 func (e *Engine) Search(req Request) (*Response, error) {
+	//pimento:allow ctxbg context-free public entry point whose contract is run-to-completion; cancellable callers use SearchContext
 	return e.SearchContext(context.Background(), req)
 }
 

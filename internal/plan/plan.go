@@ -343,11 +343,10 @@ func (p *Plan) buildChain(src algebra.Operator, shared *algebra.SharedBound, can
 // Cancellation of Options.Context surfaces as a truncated result here;
 // use ExecuteContext to distinguish aborts from completions.
 func (p *Plan) Execute() []algebra.Answer {
-	ctx := p.opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	answers, _ := p.ExecuteContext(ctx)
+	// A nil Options.Context threads through as-is: every layer below
+	// (CancelCheck, ContextErr, the twig stop probes) treats nil as
+	// "never cancelled", so no context is fabricated mid-stack.
+	answers, _ := p.ExecuteContext(p.opts.Context)
 	return answers
 }
 

@@ -60,6 +60,7 @@ func newSlowQueryLogger(threshold time.Duration, logf func(string, ...any), tota
 		dropped:   dropped,
 	}
 	l.wg.Add(1)
+	//pimento:allow budgetedgo construction-time singleton: one drain goroutine for the logger's lifetime, not per-request fan-out
 	go l.run()
 	return l
 }

@@ -1,0 +1,64 @@
+// Package analysis is a self-contained, stdlib-only stand-in for the
+// core of golang.org/x/tools/go/analysis, shaped so the pimento
+// analyzers read like ordinary x/tools analyzers. The build
+// environment pins the main module to the standard library (no module
+// proxy), so vendoring or requiring x/tools is not an option; the
+// subset implemented here — Analyzer, Pass, Diagnostic, Reportf — is
+// exactly what a vet-style multichecker needs. If the real x/tools
+// ever becomes available, each pass ports by changing one import path.
+//
+// Deliberate differences from x/tools:
+//
+//   - No Facts. The pimento invariants are all intra-package; the
+//     unitchecker driver still writes (empty) vetx files so `go vet`
+//     result caching keeps working.
+//   - No Requires/ResultOf. Passes walk their files with ast.Inspect.
+//   - Suppression (`//pimento:allow`) is a driver concern layered on
+//     top (see package allow), not part of the analyzer contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, a one-paragraph contract,
+// and a Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pimento:allow annotations. Lower-case, no spaces.
+	Name string
+	// Doc states the invariant the analyzer enforces and what a
+	// finding means. The first sentence is the summary line.
+	Doc string
+	// Run performs the check on one package and reports findings via
+	// pass.Report/Reportf. A non-nil error aborts the whole run (it
+	// means the analyzer itself failed, not that the code is bad).
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver owns filtering
+	// (test-file skipping, //pimento:allow suppression) and output.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned inside the package's Fset.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

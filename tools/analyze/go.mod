@@ -1,0 +1,3 @@
+module repro/tools/analyze
+
+go 1.22

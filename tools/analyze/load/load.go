@@ -1,0 +1,190 @@
+// Package load is the standalone (non-vettool) front end: it resolves
+// package patterns with `go list -json -deps`, type-checks everything
+// from source — function bodies only for the packages actually being
+// analyzed, signatures for dependencies — and hands the targets to the
+// driver. This is what `make analyze-baseline` uses: it needs no
+// compiled export data, so it can audit a tree that go vet refuses to
+// cache, and it is the loader the analysistest harness shares.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/tools/analyze/driver"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string // source import → resolved path (identity omitted)
+	Error      *struct{ Err string }
+}
+
+// A Target is one fully type-checked package selected by the patterns.
+type Target struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Loaded holds the shared fileset and the analysis targets.
+type Loaded struct {
+	Fset    *token.FileSet
+	Targets []*Target
+}
+
+// Load lists patterns relative to dir and type-checks the matched
+// packages plus (bodies-ignored) their dependency closure.
+func Load(dir string, patterns []string) (*Loaded, error) {
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+
+	var order []*listPkg
+	byPath := map[string]*listPkg{}
+	dec := json.NewDecoder(out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list output: %w\n%s", err, stderr.String())
+		}
+		pp := p
+		order = append(order, &pp)
+		byPath[p.ImportPath] = &pp
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		byPath: byPath,
+		cache:  map[string]*types.Package{},
+	}
+	loaded := &Loaded{Fset: ld.fset}
+	// -deps emits dependencies before dependents, so walking in order
+	// fills the import cache bottom-up.
+	for _, p := range order {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		t, err := ld.checkTarget(p)
+		if err != nil {
+			return nil, err
+		}
+		loaded.Targets = append(loaded.Targets, t)
+	}
+	return loaded, nil
+}
+
+type loader struct {
+	fset   *token.FileSet
+	byPath map[string]*listPkg
+	cache  map[string]*types.Package
+}
+
+// parseFiles parses a package's production sources.
+func (ld *loader) parseFiles(p *listPkg) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(p.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkTarget type-checks a pattern-matched package with full bodies
+// and info maps.
+func (ld *loader) checkTarget(p *listPkg) (*Target, error) {
+	files, err := ld.parseFiles(p)
+	if err != nil {
+		return nil, err
+	}
+	info := driver.NewInfo()
+	tc := &types.Config{Importer: ld.importerFor(p)}
+	pkg, err := tc.Check(p.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", p.ImportPath, err)
+	}
+	ld.cache[p.ImportPath] = pkg
+	return &Target{Path: p.ImportPath, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// checkDep type-checks a dependency signatures-only (function bodies
+// skipped: analyzers never look inside dependencies, only at their
+// exported shapes).
+func (ld *loader) checkDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	p, ok := ld.byPath[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q not in the go list closure", path)
+	}
+	files, err := ld.parseFiles(p)
+	if err != nil {
+		return nil, err
+	}
+	tc := &types.Config{Importer: ld.importerFor(p), IgnoreFuncBodies: true}
+	pkg, err := tc.Check(p.ImportPath, ld.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking dependency %s: %w", p.ImportPath, err)
+	}
+	ld.cache[path] = pkg
+	return pkg, nil
+}
+
+// importerFor resolves p's source-level imports (vendor/module
+// mapping applied) through the loader cache.
+func (ld *loader) importerFor(p *listPkg) types.Importer {
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		resolved := importPath
+		if m, ok := p.ImportMap[importPath]; ok {
+			resolved = m
+		}
+		return ld.checkDep(resolved)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,11 @@
+package budgetedgo_test
+
+import (
+	"testing"
+
+	"repro/tools/analyze/analysistest"
+)
+
+func TestSpawns(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "budgetcase/internal/server")
+}

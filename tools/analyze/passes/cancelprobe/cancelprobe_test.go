@@ -1,0 +1,11 @@
+package cancelprobe_test
+
+import (
+	"testing"
+
+	"repro/tools/analyze/analysistest"
+)
+
+func TestOperators(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "cancelcase/internal/algebra")
+}

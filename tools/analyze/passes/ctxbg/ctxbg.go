@@ -1,0 +1,53 @@
+// Package ctxbg forbids context.Background() and context.TODO() on
+// serving paths.
+//
+// Invariant: every execution on the request path runs under the
+// caller's context, so cancellation and deadlines reach the operator
+// loops (DESIGN.md §10). A context fabricated mid-stack silently
+// detaches everything below it from the request that is paying for the
+// work — the exact bug class the cooperative-cancellation suites exist
+// to catch at runtime. Genuinely context-free public entry points
+// (library conveniences whose contract is "run to completion") carry a
+// //pimento:allow ctxbg annotation naming that contract.
+package ctxbg
+
+import (
+	"go/ast"
+
+	"repro/tools/analyze/analysis"
+	"repro/tools/analyze/passes/internal/scope"
+)
+
+// Analyzer flags context.Background()/context.TODO() calls inside the
+// serving packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxbg",
+	Doc: "forbid context.Background()/TODO() on request paths: thread the caller's context " +
+		"or annotate a genuinely context-free entry point with //pimento:allow ctxbg <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope.PathAny(pass.Pkg.Path(), scope.ServingPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := scope.FuncCall(pass.TypesInfo, call)
+			if !ok || pkg != "context" {
+				return true
+			}
+			if name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s() on a serving path: thread the caller's context instead "+
+						"(context-free public entry points need //pimento:allow ctxbg <reason>)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package ctxbg_test
+
+import (
+	"testing"
+
+	"repro/tools/analyze/analysistest"
+)
+
+func TestServingScope(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "ctxbgcase/internal/server")
+}
+
+func TestOutOfScopeIsClean(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "ctxbgcase/util")
+}

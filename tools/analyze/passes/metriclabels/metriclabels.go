@@ -1,0 +1,205 @@
+// Package metriclabels enforces bounded metric label cardinality at
+// compile time.
+//
+// Invariant (DESIGN.md §11): every label value passed to
+// Registry.Counter/Gauge/Histogram comes from a compile-time-
+// enumerable set — endpoint names, operator kinds, outcome classes —
+// never from request content. The runtime label lint catches a leak
+// after it has already minted series; this analyzer rejects the call
+// site itself. A label value is accepted when it is:
+//
+//   - a constant expression (string literal, named const), or
+//   - (an index into) a range variable iterating a package-level var
+//     whose initializer is a composite literal of string constants —
+//     the "declared bounded set" idiom used by internal/server's
+//     metric registration loops.
+//
+// Anything else — request-derived strings, function results, values
+// threaded through fields — needs a //pimento:allow metriclabels
+// annotation arguing why the set is in fact bounded.
+package metriclabels
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyze/analysis"
+	"repro/tools/analyze/passes/internal/scope"
+)
+
+var registerMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// Analyzer flags unbounded label values at metric registration sites.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabels",
+	Doc: "label values passed to Registry.Counter/Gauge/Histogram must be compile-time constants " +
+		"or drawn from a declared bounded set (a package-level literal slice); request-derived " +
+		"values mint unbounded series",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	b := newBoundedness(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			recvPkg, recvType, method, ok := scope.MethodCall(pass.TypesInfo, call)
+			if !ok || recvType != "Registry" || !registerMethods[method] ||
+				!scope.PathMatches(recvPkg, "internal/metrics") {
+				return true
+			}
+			b.checkLabelsArg(call.Args[len(call.Args)-1])
+			return true
+		})
+	}
+	return nil
+}
+
+// boundedness resolves whether expressions are drawn from bounded
+// sets, using two package-wide maps built once per run.
+type boundedness struct {
+	pass *analysis.Pass
+	// pkgVarInit maps a package-level var to its initializer.
+	pkgVarInit map[*types.Var]ast.Expr
+	// rangedOver maps a range-statement variable to the expression it
+	// ranges over.
+	rangedOver map[*types.Var]ast.Expr
+}
+
+func newBoundedness(pass *analysis.Pass) *boundedness {
+	b := &boundedness{
+		pass:       pass,
+		pkgVarInit: map[*types.Var]ast.Expr{},
+		rangedOver: map[*types.Var]ast.Expr{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if v, ok := b.pass.TypesInfo.Defs[name].(*types.Var); ok {
+						b.pkgVarInit[v] = vs.Values[i]
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			for _, e := range []ast.Expr{rs.Key, rs.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if v, ok := b.pass.TypesInfo.Defs[id].(*types.Var); ok {
+						b.rangedOver[v] = rs.X
+					}
+				}
+			}
+			return true
+		})
+	}
+	return b
+}
+
+// checkLabelsArg validates the labels argument of a registration call.
+func (b *boundedness) checkLabelsArg(arg ast.Expr) {
+	if tv, ok := b.pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+		return // nil labels: an unlabeled series
+	}
+	lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+	if !ok {
+		b.pass.Reportf(arg.Pos(),
+			"labels argument is not a literal metrics.Labels{...}: the analyzer cannot see the "+
+				"label values, so boundedness cannot be checked — inline the literal or annotate")
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if !b.bounded(kv.Key) {
+			b.pass.Reportf(kv.Key.Pos(), "metric label key is not a compile-time constant")
+		}
+		if !b.bounded(kv.Value) {
+			b.pass.Reportf(kv.Value.Pos(),
+				"metric label value is neither a compile-time constant nor drawn from a declared "+
+					"bounded set (package-level literal slice); a request-derived value here mints "+
+					"unbounded series — use a static fold (cf. OpStats.Kind) or annotate with the "+
+					"boundedness argument")
+		}
+	}
+}
+
+// bounded reports whether expr provably takes values from a finite,
+// compile-time-known set.
+func (b *boundedness) bounded(expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if tv, ok := b.pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+		return true // constant
+	}
+	switch e := expr.(type) {
+	case *ast.IndexExpr:
+		// s[0] where s is itself bounded (e.g. a [2]string range var).
+		return b.bounded(e.X)
+	case *ast.Ident:
+		v, ok := b.pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		if over, ok := b.rangedOver[v]; ok {
+			return b.boundedSet(over)
+		}
+		return false
+	}
+	return false
+}
+
+// boundedSet reports whether expr denotes a declared bounded set: a
+// package-level var initialized with a composite literal whose leaf
+// elements are all string constants.
+func (b *boundedness) boundedSet(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := b.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	init, ok := b.pkgVarInit[v]
+	if !ok {
+		return false
+	}
+	return b.allConstLeaves(init)
+}
+
+// allConstLeaves walks a composite literal accepting only constant
+// leaves (possibly nested, e.g. [][2]string{{"put", "created"}}).
+func (b *boundedness) allConstLeaves(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if !b.allConstLeaves(elt) {
+				return false
+			}
+		}
+		return true
+	default:
+		tv, ok := b.pass.TypesInfo.Types[expr]
+		return ok && tv.Value != nil
+	}
+}

@@ -1,0 +1,11 @@
+package metriclabels_test
+
+import (
+	"testing"
+
+	"repro/tools/analyze/analysistest"
+)
+
+func TestRegistration(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "metriccase/internal/server")
+}

@@ -1,0 +1,62 @@
+// Package nowfree keeps wall-clock reads out of fingerprint and
+// cache-key computation.
+//
+// Invariant (DESIGN.md §14): cache keys and fingerprints are pure
+// functions of corpus generation, profile revision, and request shape.
+// Determinism is what makes generation-stamped invalidation sound — a
+// time.Now() folded into a key makes every computation a miss (cache
+// poisoning by monotonic clock) or, worse, makes two replicas disagree
+// about the same logical request. The repo's 18 surviving time.Now()
+// sites are all latency measurement or deadline arithmetic; this
+// analyzer keeps the key paths clean by construction: no time.Now()
+// inside any function whose name contains "fingerprint" or "cachekey"
+// (case-insensitive), the repo's naming convention for key derivation.
+package nowfree
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/tools/analyze/analysis"
+	"repro/tools/analyze/passes/internal/scope"
+)
+
+// Analyzer flags wall-clock reads inside key-derivation functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowfree",
+	Doc: "no time.Now() inside fingerprint/cache-key computation: keys must be pure functions " +
+		"of generation + revision + request shape or generation-stamped invalidation breaks",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isKeyFunc(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name, ok := scope.FuncCall(pass.TypesInfo, call)
+				if ok && pkg == "time" && name == "Now" {
+					pass.Reportf(call.Pos(),
+						"time.Now() inside key-derivation function %s: a wall-clock read makes the "+
+							"key non-deterministic — derive from generation/revision/request shape only",
+						fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isKeyFunc matches the repo's key-derivation naming convention.
+func isKeyFunc(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "fingerprint") || strings.Contains(l, "cachekey")
+}

@@ -1,0 +1,11 @@
+package nowfree_test
+
+import (
+	"testing"
+
+	"repro/tools/analyze/analysistest"
+)
+
+func TestKeyFunctions(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "nowcase")
+}

@@ -1,0 +1,199 @@
+// Package scratchrelease pairs pooled-scratch acquisition with release.
+//
+// Invariant (DESIGN.md §9): operator scratch comes from sync.Pool and
+// every acquisition is paired with a release on all exits — the twig
+// joiner idiom is `j := joinerPool.Get().(*joiner); defer j.release()`.
+// A dropped scratch is not a leak the GC saves you from cheaply: the
+// pools exist to keep steady-state allocation flat under the QPS
+// harness, and one unpaired Get per request quietly regrows the heap
+// the pool was bought to cap.
+//
+// For each p.Get() call (p of type sync.Pool) the analyzer accepts:
+//
+//   - the result is returned (ownership transfers to the caller —
+//     the get-helper pattern; the caller's pairing is checked at its
+//     own call site),
+//   - the result is bound to a variable that is released in the same
+//     function: a defer or plain call of a method whose name contains
+//     "release" on that variable, a Put call taking it as an argument,
+//     or a return of the variable.
+//
+// Anything else is flagged. Transfers the analyzer cannot see (scratch
+// stored into a struct whose own Release handles it) carry a
+// //pimento:allow scratchrelease annotation naming the releasing path.
+package scratchrelease
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyze/analysis"
+	"repro/tools/analyze/passes/internal/scope"
+)
+
+// Analyzer flags sync.Pool.Get calls without a visible paired release.
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchrelease",
+	Doc: "pooled scratch (sync.Pool.Get) must be paired with a release on all exits: " +
+		"defer the release method, Put it back, or return it to the caller that will",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkBody audits every pool acquisition whose innermost enclosing
+// function is body. Releases may live anywhere inside body, including
+// nested closures (a cleanup closure releasing the outer scratch is
+// still a pairing).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	for _, get := range poolGets(pass, body) {
+		v, bound := boundVar(pass, body, get)
+		switch {
+		case !bound && inReturn(body, get):
+			// get-helper: ownership transfers to the caller.
+		case !bound:
+			pass.Reportf(get.Pos(),
+				"pooled scratch acquired and dropped: bind the sync.Pool.Get result and pair it "+
+					"with a release, or return it to transfer ownership")
+		case !released(pass, body, v):
+			pass.Reportf(get.Pos(),
+				"pooled scratch %q has no paired release in this function: defer its release "+
+					"method (or Put it back) so every exit path returns it to the pool",
+				v.Name())
+		}
+	}
+}
+
+// poolGets returns the Pool.Get calls whose innermost enclosing
+// function is exactly body; closure subtrees are pruned from this walk
+// and audited recursively against their own bodies.
+func poolGets(pass *analysis.Pass, body *ast.BlockStmt) []*ast.CallExpr {
+	var gets []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, nn.Body)
+			return false
+		case *ast.CallExpr:
+			if recvPkg, recvType, method, ok := scope.MethodCall(pass.TypesInfo, nn); ok &&
+				recvPkg == "sync" && recvType == "Pool" && method == "Get" {
+				gets = append(gets, nn)
+			}
+		}
+		return true
+	})
+	return gets
+}
+
+// boundVar resolves the variable the Get result is bound to, looking
+// for `v := p.Get()...` single-assignments (the result may pass
+// through a type assertion first).
+func boundVar(pass *analysis.Pass, body *ast.BlockStmt, get *ast.CallExpr) (*types.Var, bool) {
+	var found *types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if !contains(as.Rhs[0], get) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				found = v
+			} else if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				found = v
+			}
+		}
+		return false
+	})
+	return found, found != nil
+}
+
+// inReturn reports whether the Get call appears inside a return
+// statement.
+func inReturn(body *ast.BlockStmt, get *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if contains(r, get) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// released reports whether v is visibly released inside body: a call
+// (deferred or plain) of a *release-named method on v, a Put call with
+// v as an argument, or a return of v.
+func released(pass *analysis.Pass, body *ast.BlockStmt, v *types.Var) bool {
+	usesV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == v
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := nn.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := strings.ToLower(sel.Sel.Name)
+			if strings.Contains(name, "release") && usesV(sel.X) {
+				found = true
+				return false
+			}
+			if name == "put" {
+				for _, a := range nn.Args {
+					if usesV(a) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range nn.Results {
+				if usesV(r) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// contains reports whether needle is a node inside the tree rooted at
+// haystack.
+func contains(haystack ast.Node, needle ast.Node) bool {
+	found := false
+	ast.Inspect(haystack, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

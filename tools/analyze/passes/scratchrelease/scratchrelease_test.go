@@ -1,0 +1,11 @@
+package scratchrelease_test
+
+import (
+	"testing"
+
+	"repro/tools/analyze/analysistest"
+)
+
+func TestPairing(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "scratchcase")
+}

@@ -1,0 +1,15 @@
+package snapshotonce_test
+
+import (
+	"testing"
+
+	"repro/tools/analyze/analysistest"
+)
+
+func TestHandlers(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "snapcase/internal/server")
+}
+
+func TestCorpusItselfIsClean(t *testing.T) {
+	analysistest.Run(t, "../../testdata", "snapcase/internal/corpus")
+}

@@ -1,0 +1,19 @@
+// Fixture for the annotation-hygiene (pimentoallow) findings:
+// malformed and stale //pimento:allow annotations are themselves
+// diagnostics — a suppression that suppresses nothing is a lie about
+// the code.
+package allowcase
+
+import "time"
+
+/* want pimentoallow "justification reason is required" */ //pimento:allow nowfree
+func missingReason()                                       {}
+
+/* want pimentoallow "unknown analyzer" */ //pimento:allow nosuchcheck the analyzer name is misspelled
+func unknownAnalyzer()                     {}
+
+/* want pimentoallow "suppresses nothing" */ //pimento:allow nowfree valid reason but the line below is clean
+func stale() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

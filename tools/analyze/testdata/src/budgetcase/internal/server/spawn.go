@@ -1,0 +1,29 @@
+// Fixture for the budgetedgo analyzer: goroutine spawns in a serving
+// package.
+package server
+
+// Budget mimics the sched.Budget token semaphore.
+type Budget struct{ ch chan struct{} }
+
+func (b *Budget) TryAcquire() bool { return true }
+func (b *Budget) Release()         {}
+
+func spawnBad(work func()) {
+	go work() // want budgetedgo "unbudgeted goroutine spawn"
+}
+
+func spawnBudgeted(b *Budget, work func()) {
+	if !b.TryAcquire() {
+		work() // degrade to inline execution when the budget is dry
+		return
+	}
+	go func() {
+		defer b.Release()
+		work()
+	}()
+}
+
+func spawnAllowed(work func()) {
+	//pimento:allow budgetedgo fixture: construction-time singleton, one goroutine for the process lifetime
+	go work()
+}

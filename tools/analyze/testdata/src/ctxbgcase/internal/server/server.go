@@ -1,0 +1,22 @@
+// Fixture for the ctxbg analyzer: the package path suffix
+// internal/server puts it in the serving scope.
+package server
+
+import "context"
+
+func handleBad() context.Context {
+	return context.Background() // want ctxbg "thread the caller's context"
+}
+
+func handleTODO() context.Context {
+	return context.TODO() // want ctxbg "thread the caller's context"
+}
+
+func handleAllowed() context.Context {
+	//pimento:allow ctxbg fixture: context-free entry point whose contract is run-to-completion
+	return context.Background()
+}
+
+func handleClean(ctx context.Context) context.Context {
+	return ctx
+}

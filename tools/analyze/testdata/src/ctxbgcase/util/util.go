@@ -1,0 +1,9 @@
+// Fixture: a package outside the serving scope — context.Background()
+// here is fine (offline tooling, experiment harnesses).
+package util
+
+import "context"
+
+func Run() context.Context {
+	return context.Background()
+}

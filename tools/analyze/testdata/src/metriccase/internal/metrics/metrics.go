@@ -1,0 +1,15 @@
+// Fixture stand-in for the real internal/metrics registry: the
+// metriclabels analyzer matches Registry by package-path suffix.
+package metrics
+
+type Labels map[string]string
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels Labels) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram { return &Histogram{} }

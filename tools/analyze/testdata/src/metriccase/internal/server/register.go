@@ -1,0 +1,26 @@
+// Fixture for the metriclabels analyzer: metric registration with
+// bounded and unbounded label values.
+package server
+
+import "metriccase/internal/metrics"
+
+// opKinds is a declared bounded set: a package-level literal of string
+// constants.
+var opKinds = []string{"scan", "filter", "topk"}
+
+const endpoint = "search"
+
+func register(reg *metrics.Registry, queryText string) {
+	reg.Counter("requests_total", "Requests served.", metrics.Labels{"endpoint": endpoint})
+	reg.Gauge("corpus_docs", "Documents resident.", nil)
+	for _, k := range opKinds {
+		reg.Counter("op_total", "Operator executions.", metrics.Labels{"op": k})
+	}
+	reg.Counter("bad_total", "Per-query counter.", metrics.Labels{"q": queryText}) // want metriclabels "declared bounded set"
+	reg.Histogram("opaque_seconds", "Opaque labels.", someLabels())                // want metriclabels "not a literal"
+	//pimento:allow metriclabels fixture: dynamicID draws from a registry that is fixed at compile time
+	reg.Counter("allowed_total", "Allowed counter.", metrics.Labels{"id": dynamicID()})
+}
+
+func someLabels() metrics.Labels { return nil }
+func dynamicID() string          { return "x" }

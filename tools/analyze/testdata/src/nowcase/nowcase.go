@@ -1,0 +1,35 @@
+// Fixture for the nowfree analyzer: wall-clock reads inside
+// key-derivation functions.
+package nowcase
+
+import (
+	"fmt"
+	"time"
+)
+
+// CacheKey is a key-derivation function by naming convention: a
+// time.Now() here poisons every lookup.
+func CacheKey(gen uint64, q string) string {
+	now := time.Now() // want nowfree "non-deterministic"
+	return fmt.Sprintf("%d/%s/%d", gen, q, now.UnixNano())
+}
+
+// profileFingerprint derives purely from its inputs.
+func profileFingerprint(gen uint64, rev int, q string) string {
+	return fmt.Sprintf("%d/%d/%s", gen, rev, q)
+}
+
+// measure is not a key function: latency timing is what time.Now is
+// for.
+func measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// FingerprintWithEpoch folds a coarse TTL epoch in deliberately.
+func FingerprintWithEpoch(gen uint64) string {
+	//pimento:allow nowfree fixture: coarse TTL epoch folded in deliberately; documented expiry semantics
+	epoch := time.Now().Unix() / 3600
+	return fmt.Sprintf("%d@%d", gen, epoch)
+}

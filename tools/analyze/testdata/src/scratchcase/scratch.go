@@ -1,0 +1,49 @@
+// Fixture for the scratchrelease analyzer: sync.Pool acquisition and
+// release pairing. The analyzer is unscoped (pools appear in algebra,
+// twig and server alike), so any package path works.
+package scratchcase
+
+import "sync"
+
+type buf struct{ b []byte }
+
+func (s *buf) release() { pool.Put(s) }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+type holder struct{ scratch *buf }
+
+// paired is the canonical idiom: acquire, defer release.
+func paired() int {
+	s := pool.Get().(*buf)
+	defer s.release()
+	return len(s.b)
+}
+
+// putBack releases by returning the value to the pool directly.
+func putBack() {
+	s := pool.Get().(*buf)
+	pool.Put(s)
+}
+
+// transfer hands ownership to the caller — the get-helper pattern.
+func transfer() *buf {
+	return pool.Get().(*buf)
+}
+
+// leaky binds the scratch and never releases it.
+func leaky() int {
+	s := pool.Get().(*buf) // want scratchrelease "no paired release"
+	return len(s.b)
+}
+
+// dropped doesn't even bind the result.
+func dropped() {
+	_ = pool.Get() // want scratchrelease "acquired and dropped"
+}
+
+// allowedStash stores the scratch in a struct the analyzer can't track.
+func allowedStash(h *holder) {
+	//pimento:allow scratchrelease fixture: stashed in holder, holder.close returns it to the pool
+	h.scratch = pool.Get().(*buf)
+}

@@ -1,0 +1,14 @@
+// Fixture stand-in for the real internal/corpus: the snapshotonce
+// analyzer matches the Corpus type by package-path suffix, so this
+// fake exercises it without importing the repository.
+package corpus
+
+type Snapshot struct{ docs []string }
+
+func (s *Snapshot) Len() int { return len(s.docs) }
+
+type Corpus struct{ snap *Snapshot }
+
+func (c *Corpus) Snapshot() *Snapshot { return c.snap }
+func (c *Corpus) Generation() uint64  { return 0 }
+func (c *Corpus) Len() int            { return 0 }
